@@ -1,0 +1,136 @@
+(** Benchmark harness.
+
+    Part 1 regenerates every table/figure of the paper's evaluation (the
+    experiment registry of [Hscd_experiments]) at full scale and prints
+    them in paper shape.
+
+    Part 2 runs Bechamel microbenchmarks — one per reproduced table (as
+    the repository convention requires) measuring the hot simulator path
+    behind that table, plus a few core-operation benches. *)
+
+open Bechamel
+open Toolkit
+
+(* --- Part 2 plumbing --- *)
+
+let make_cfg () = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None ()
+
+let ols =
+  Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+
+let run_and_report tests =
+  let instance = Instance.monotonic_clock in
+  let grouped = Test.make_grouped ~name:"hscd" ~fmt:"%s %s" tests in
+  let raw = Benchmark.all (make_cfg ()) [ instance ] grouped in
+  let results = Analyze.all ols instance raw in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  List.iter
+    (fun (name, r) ->
+      let est =
+        match Analyze.OLS.estimates r with Some [ x ] -> x | Some (x :: _) -> x | _ -> nan
+      in
+      Printf.printf "  %-42s %12.1f ns/run\n" name est)
+    (List.sort compare rows)
+
+(* Small, fixed-size payloads for the microbenches. *)
+
+let small_stencil = Hscd_workloads.Kernels.jacobi1d ~n:64 ~iters:2 ()
+
+let compiled_stencil = lazy (Hscd_sim.Run.compile small_stencil)
+
+let staged_simulate kind =
+  Staged.stage (fun () ->
+      let c = Lazy.force compiled_stencil in
+      ignore (Hscd_sim.Run.simulate kind c.Hscd_sim.Run.trace))
+
+let micro_tests =
+  [
+    (* fig5: closed-form storage overhead *)
+    Test.make ~name:"fig5/storage_overhead_formulas"
+      (Staged.stage (fun () ->
+           ignore (Hscd_coherence.Overhead.describe Hscd_coherence.Overhead.paper_default)));
+    (* fig8: config validation/description *)
+    Test.make ~name:"fig8/config_describe"
+      (Staged.stage (fun () -> ignore (Hscd_arch.Config.describe Hscd_arch.Config.default)));
+    (* census: the compiler front end *)
+    Test.make ~name:"census/mark_program_jacobi64"
+      (Staged.stage (fun () ->
+           ignore
+             (Hscd_compiler.Marking.mark_program (Hscd_lang.Sema.check_exn small_stencil))));
+    (* fig11: one full TPI simulation of a small stencil *)
+    Test.make ~name:"fig11/simulate_tpi_jacobi64" (staged_simulate Hscd_sim.Run.TPI);
+    (* fig12: classification path = HW simulation *)
+    Test.make ~name:"fig12/simulate_hw_jacobi64" (staged_simulate Hscd_sim.Run.HW);
+    (* latency table: network model evaluation *)
+    Test.make ~name:"latency/kruskal_snir_excess"
+      (Staged.stage (fun () ->
+           let net = Hscd_network.Kruskal_snir.create Hscd_arch.Config.default in
+           Hscd_network.Kruskal_snir.set_load net 0.4;
+           ignore (Hscd_network.Kruskal_snir.round_trip_excess net)));
+    (* traffic: SC simulation (write-through traffic heavy) *)
+    Test.make ~name:"traffic/simulate_sc_jacobi64" (staged_simulate Hscd_sim.Run.SC);
+    (* timetag: the two-phase reset sweep over a full cache *)
+    Test.make ~name:"timetag/two_phase_reset_64kb"
+      (let cfg = Hscd_arch.Config.default in
+       let net = Hscd_network.Kruskal_snir.create cfg in
+       let traffic = Hscd_network.Traffic.create cfg in
+       let tpi = Hscd_coherence.Tpi.create cfg ~memory_words:4096 ~network:net ~traffic in
+       for a = 0 to 4095 do
+         ignore
+           (Hscd_coherence.Tpi.write tpi ~proc:(a mod 16) ~addr:a ~array:"m" ~value:a
+              ~mark:Hscd_arch.Event.Normal_write)
+       done;
+       Staged.stage (fun () -> ignore (Hscd_coherence.Tpi.epoch_boundary tpi)));
+    (* exectime: BASE simulation *)
+    Test.make ~name:"exectime/simulate_base_jacobi64" (staged_simulate Hscd_sim.Run.Base);
+    (* wcache: write-buffer coalescing *)
+    Test.make ~name:"wcache/write_cache_1k_stores"
+      (let cfg =
+         { Hscd_arch.Config.default with write_buffer = Hscd_arch.Config.Write_cache 16 }
+       in
+       let wb = Hscd_cache.Write_buffer.create cfg in
+       Staged.stage (fun () ->
+           for i = 0 to 999 do
+             ignore (Hscd_cache.Write_buffer.write wb (i mod 64))
+           done;
+           ignore (Hscd_cache.Write_buffer.drain wb)));
+    (* alignment: section algebra *)
+    Test.make ~name:"alignment/section_intersections"
+      (let a = Hscd_compiler.Sections.whole [ 64; 64 ] in
+       let b =
+         [
+           Hscd_compiler.Sections.Sint.make ~lo:0 ~hi:62 ~step:2;
+           Hscd_compiler.Sections.Sint.make ~lo:1 ~hi:63 ~step:2;
+         ]
+       in
+       Staged.stage (fun () ->
+           for _ = 0 to 99 do
+             ignore (Hscd_compiler.Sections.inter_nonempty a b)
+           done));
+    (* scheduling: trace generation (interpreter throughput) *)
+    Test.make ~name:"scheduling/trace_generation_jacobi64"
+      (Staged.stage (fun () -> ignore (Hscd_sim.Trace.of_program small_stencil)));
+    (* cachesize: raw cache probe/allocate loop *)
+    Test.make ~name:"cachesize/cache_probe_allocate"
+      (let cache = Hscd_cache.Cache.create Hscd_arch.Config.default in
+       Staged.stage (fun () ->
+           for a = 0 to 999 do
+             match Hscd_cache.Cache.find cache a with
+             | Some _ -> ()
+             | None -> ignore (Hscd_cache.Cache.allocate cache ~on_evict:(fun _ -> ()) a)
+           done));
+  ]
+
+let () =
+  print_endline "==================================================================";
+  print_endline " HSCD coherence reproduction: paper tables and figures";
+  print_endline " (Choi & Yew, ISCA 1996 — see EXPERIMENTS.md for the comparison)";
+  print_endline "==================================================================";
+  print_newline ();
+  List.iter (fun e -> Hscd_experiments.Experiments.run_and_print e) Hscd_experiments.Experiments.all;
+  print_endline "==================================================================";
+  print_endline " Bechamel microbenchmarks (one per reproduced table)";
+  print_endline "==================================================================";
+  run_and_report micro_tests;
+  print_newline ();
+  print_endline "bench: done."

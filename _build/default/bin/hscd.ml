@@ -1,0 +1,173 @@
+(** hscd — command-line driver for the HSCD coherence reproduction.
+
+    Subcommands:
+    - [mark <file|bench>]: run the coherence compiler, print the annotated
+      listing and marking census;
+    - [sim <file|bench>]: simulate one scheme and print its metrics;
+    - [compare <file|bench>]: all four schemes side by side;
+    - [experiment <id>|all]: regenerate a paper table/figure;
+    - [list]: available benchmarks and experiments. *)
+
+open Cmdliner
+
+let read_program name =
+  match Hscd_workloads.Perfect.find name with
+  | Some e -> e.build ()
+  | None -> (
+    match List.assoc_opt name Hscd_workloads.Kernels.all with
+    | Some b -> b ()
+    | None ->
+      if Sys.file_exists name then
+        let ic = open_in name in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        Hscd_lang.Parser.parse_exn s
+      else failwith (Printf.sprintf "%s: not a benchmark, kernel or file" name))
+
+let program_arg =
+  Arg.(required & pos 0 (some string) None
+       & info [] ~docv:"PROGRAM" ~doc:"PFL source file, Perfect Club benchmark or kernel name")
+
+let scheme_conv =
+  let parse s =
+    match String.uppercase_ascii s with
+    | "BASE" -> Ok Hscd_sim.Run.Base
+    | "SC" -> Ok Hscd_sim.Run.SC
+    | "TPI" -> Ok Hscd_sim.Run.TPI
+    | "HW" -> Ok Hscd_sim.Run.HW
+    | "LIMITLESS" -> Ok Hscd_sim.Run.LimitLESS
+    | "VC" -> Ok Hscd_sim.Run.VC
+    | "INV" -> Ok Hscd_sim.Run.INV
+    | _ -> Error (`Msg "scheme must be BASE, SC, INV, VC, TPI, HW or LimitLESS")
+  in
+  Arg.conv (parse, fun fmt k -> Format.pp_print_string fmt (Hscd_sim.Run.scheme_name k))
+
+let scheme_arg =
+  Arg.(value & opt scheme_conv Hscd_sim.Run.TPI & info [ "s"; "scheme" ] ~doc:"Coherence scheme")
+
+let procs_arg =
+  Arg.(value & opt int 16 & info [ "p"; "processors" ] ~doc:"Number of processors")
+
+let line_arg =
+  Arg.(value & opt int 4 & info [ "line-words" ] ~doc:"Cache line size in words")
+
+let tag_arg = Arg.(value & opt int 8 & info [ "timetag-bits" ] ~doc:"TPI timetag width")
+
+let cfg_of processors line_words timetag_bits =
+  { Hscd_arch.Config.default with processors; line_words; timetag_bits }
+
+let print_metrics kind (r : Hscd_sim.Engine.result) =
+  let m = r.metrics in
+  let module Metrics = Hscd_sim.Metrics in
+  Printf.printf "%-9s  cycles %10d  miss %6.2f%%  avg miss lat %7.1f  viol %d  mem %s\n"
+    (Hscd_sim.Run.scheme_name kind) r.cycles
+    (100.0 *. Metrics.miss_rate m)
+    (Metrics.avg_read_miss_latency m)
+    m.violations
+    (if r.memory_ok then "ok" else "CORRUPT");
+  Printf.printf
+    "           reads %d writes %d | cold %d repl %d true %d false %d conservative %d reset %d uncached %d\n"
+    (Metrics.reads m) (Metrics.writes m)
+    (Metrics.class_count m Hscd_coherence.Scheme.Cold)
+    (Metrics.class_count m Hscd_coherence.Scheme.Replacement)
+    (Metrics.class_count m Hscd_coherence.Scheme.True_sharing)
+    (Metrics.class_count m Hscd_coherence.Scheme.False_sharing)
+    (Metrics.class_count m Hscd_coherence.Scheme.Conservative)
+    (Metrics.class_count m Hscd_coherence.Scheme.Reset_inv)
+    (Metrics.class_count m Hscd_coherence.Scheme.Uncached);
+  Printf.printf "           traffic r/w/coh/ctl %d/%d/%d/%d words, net load %.3f\n"
+    m.traffic.reads m.traffic.writes m.traffic.coherence m.traffic.control r.network_load
+
+let mark_cmd =
+  let run name =
+    let prog = read_program name in
+    let listing, census = Core.mark prog in
+    print_endline listing;
+    Hscd_compiler.Report.print_census census
+  in
+  Cmd.v (Cmd.info "mark" ~doc:"Run the coherence compiler and show the marked listing")
+    Term.(const run $ program_arg)
+
+let sim_cmd =
+  let run name scheme procs line tag =
+    let cfg = cfg_of procs line tag in
+    let prog = read_program name in
+    let _, r = Hscd_sim.Run.run_source ~cfg scheme prog in
+    print_metrics scheme r
+  in
+  Cmd.v (Cmd.info "sim" ~doc:"Simulate one coherence scheme")
+    Term.(const run $ program_arg $ scheme_arg $ procs_arg $ line_arg $ tag_arg)
+
+let compare_cmd =
+  let run name procs line tag =
+    let cfg = cfg_of procs line tag in
+    let prog = read_program name in
+    let c, results = Hscd_sim.Run.compare ~cfg ~schemes:Hscd_sim.Run.extended_schemes prog in
+    Printf.printf "epochs %d, events %d\n" (Hscd_sim.Trace.n_epochs c.trace) c.trace.total_events;
+    List.iter (fun (r : Hscd_sim.Run.comparison) -> print_metrics r.kind r.result) results
+  in
+  Cmd.v (Cmd.info "compare" ~doc:"Compare all schemes on the same trace")
+    Term.(const run $ program_arg $ procs_arg $ line_arg $ tag_arg)
+
+let experiment_cmd =
+  let run id small =
+    match id with
+    | "all" ->
+      List.iter (Hscd_experiments.Experiments.run_and_print ~small) Hscd_experiments.Experiments.all
+    | _ -> (
+      match Hscd_experiments.Experiments.find id with
+      | Some e -> Hscd_experiments.Experiments.run_and_print ~small e
+      | None ->
+        Printf.eprintf "unknown experiment %s; try 'hscd list'\n" id;
+        exit 1)
+  in
+  let id_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID") in
+  let small_arg = Arg.(value & flag & info [ "small" ] ~doc:"Use test-scale benchmark sizes") in
+  Cmd.v (Cmd.info "experiment" ~doc:"Regenerate a paper table/figure (or 'all')")
+    Term.(const run $ id_arg $ small_arg)
+
+let trace_cmd =
+  let run name out =
+    let prog = read_program name in
+    let c = Hscd_sim.Run.compile prog in
+    Hscd_sim.Trace_io.save out c.Hscd_sim.Run.trace;
+    Printf.printf "wrote %s: %d epochs, %d events\n" out
+      (Hscd_sim.Trace.n_epochs c.trace) c.trace.total_events
+  in
+  let out_arg =
+    Arg.(value & opt string "trace.txt" & info [ "o"; "output" ] ~doc:"Output file")
+  in
+  Cmd.v (Cmd.info "trace" ~doc:"Compile a program and dump its event trace to a file")
+    Term.(const run $ program_arg $ out_arg)
+
+let replay_cmd =
+  let run path scheme procs line tag =
+    let cfg = cfg_of procs line tag in
+    let trace = Hscd_sim.Trace_io.load path in
+    let r = Hscd_sim.Run.simulate ~cfg scheme trace in
+    print_metrics scheme r
+  in
+  let path_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE") in
+  Cmd.v (Cmd.info "replay" ~doc:"Simulate a previously dumped trace file")
+    Term.(const run $ path_arg $ scheme_arg $ procs_arg $ line_arg $ tag_arg)
+
+let list_cmd =
+  let run () =
+    print_endline "Perfect Club benchmark models:";
+    List.iter
+      (fun (e : Hscd_workloads.Perfect.entry) -> Printf.printf "  %-8s %s\n" e.name e.description)
+      Hscd_workloads.Perfect.all;
+    print_endline "Microkernels:";
+    List.iter (fun (n, _) -> Printf.printf "  %s\n" n) Hscd_workloads.Kernels.all;
+    print_endline "Experiments:";
+    List.iter
+      (fun (e : Hscd_experiments.Experiments.t) ->
+        Printf.printf "  %-10s %s (%s)\n" e.id e.title e.paper_ref)
+      Hscd_experiments.Experiments.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List benchmarks, kernels and experiments") Term.(const run $ const ())
+
+let () =
+  let info = Cmd.info "hscd" ~version:"1.0.0" ~doc:"HSCD cache coherence reproduction (Choi & Yew, ISCA'96)" in
+  exit (Cmd.eval (Cmd.group info [ mark_cmd; sim_cmd; compare_cmd; experiment_cmd; trace_cmd; replay_cmd; list_cmd ]))

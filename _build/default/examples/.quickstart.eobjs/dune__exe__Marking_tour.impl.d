@@ -1,0 +1,1 @@
+examples/marking_tour.ml: Core Printf

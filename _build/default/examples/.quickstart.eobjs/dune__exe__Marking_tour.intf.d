@@ -1,0 +1,1 @@
+examples/marking_tour.mli:

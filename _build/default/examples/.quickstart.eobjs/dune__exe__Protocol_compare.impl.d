@@ -1,0 +1,1 @@
+examples/protocol_compare.ml: Core Hscd_util List Printf

@@ -1,0 +1,1 @@
+examples/stencil_coherence.ml: Core Hscd_util List Printf

@@ -1,0 +1,1 @@
+examples/timetag_study.mli:

@@ -1,0 +1,44 @@
+(** Line-size study: how cache line size and scheme interact on ARC2D's
+    ADI pattern — aligned row sweeps followed by column sweeps that write
+    one word per line of data other processors still cache. This is the
+    access pattern that separates the schemes most: HW pays false-sharing
+    invalidation misses that grow with the line, while TPI's word-granular
+    timetags are immune to false sharing.
+
+    Run with: [dune exec examples/stencil_coherence.exe] *)
+
+module Run = Core.Sim.Run
+module Metrics = Core.Sim.Metrics
+module Config = Core.Arch.Config
+module Table = Hscd_util.Table
+
+let () =
+  let arc2d = List.find (fun (e : Core.Workloads.Perfect.entry) -> e.name = "ARC2D") Core.Workloads.Perfect.all in
+  let program = arc2d.build () in
+  let t =
+    Table.create ~title:"ARC2D: miss rate by scheme and line size"
+      ~header:[ "line size"; "BASE"; "SC"; "TPI"; "HW"; "HW false-sharing"; "TPI conservative" ]
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
+      ()
+  in
+  List.iter
+    (fun line_words ->
+      let cfg = { Config.default with line_words } in
+      let _, results = Run.compare ~cfg program in
+      let get k = (List.find (fun (r : Run.comparison) -> r.kind = k) results).result in
+      let miss k = Table.fpct (Metrics.miss_rate (get k).metrics) in
+      List.iter
+        (fun (r : Run.comparison) ->
+          assert (r.result.memory_ok && r.result.metrics.violations = 0))
+        results;
+      Table.add_row t
+        [
+          Printf.sprintf "%d bytes" (line_words * 4);
+          miss Run.Base; miss Run.SC; miss Run.TPI; miss Run.HW;
+          Table.fi (Metrics.class_count (get Run.HW).metrics Core.Coherence.Scheme.False_sharing);
+          Table.fi (Metrics.class_count (get Run.TPI).metrics Core.Coherence.Scheme.Conservative);
+        ])
+    [ 1; 4; 16 ];
+  Table.add_note t "larger lines amplify HW false sharing on the column sweeps;";
+  Table.add_note t "TPI misses come from conservative marks instead and do not grow the same way.";
+  Table.print t

@@ -1,0 +1,41 @@
+(** Timetag width study on a long-running iterative solver: demonstrates
+    the two-phase reset in action. With narrow tags the reset fires often
+    and forcibly invalidates still-useful data; the study shows where the
+    paper's "4 bits is enough" claim comes from — and where it breaks
+    (1-epoch distances survive even 2-bit tags; long-distance reuse does
+    not).
+
+    Run with: [dune exec examples/timetag_study.exe] *)
+
+module Run = Core.Sim.Run
+module Metrics = Core.Sim.Metrics
+module Config = Core.Arch.Config
+module Table = Hscd_util.Table
+
+let () =
+  (* many epochs: 40 solver iterations = 160+ boundaries *)
+  let program = Core.Workloads.Kernels.jacobi1d ~n:512 ~iters:40 () in
+  let t =
+    Table.create ~title:"TPI vs timetag width on 40 Jacobi iterations (512 points)"
+      ~header:[ "tag bits"; "phase (epochs)"; "resets"; "reset misses"; "miss rate"; "cycles" ]
+      ~aligns:[ Table.Right; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
+      ()
+  in
+  List.iter
+    (fun bits ->
+      let cfg = { Config.default with timetag_bits = bits } in
+      let _, r = Run.run_source ~cfg Run.TPI program in
+      assert (r.memory_ok && r.metrics.violations = 0);
+      Table.add_row t
+        [
+          Table.fi bits;
+          Table.fi (Config.phase_epochs cfg);
+          Table.fi r.metrics.scheme_stats.two_phase_resets;
+          Table.fi (Metrics.class_count r.metrics Core.Coherence.Scheme.Reset_inv);
+          Table.fpct (Metrics.miss_rate r.metrics);
+          Table.fi r.cycles;
+        ])
+    [ 2; 3; 4; 6; 8 ];
+  Table.add_note t "every configuration is verified coherent against the golden interpreter;";
+  Table.add_note t "narrow tags only cost misses when reuse distances exceed the phase window.";
+  Table.print t

@@ -1,0 +1,1 @@
+lib/arch/addr.ml: Config Hscd_util List

@@ -1,0 +1,1 @@
+lib/arch/event.ml: Hscd_lang Printf

@@ -1,0 +1,1 @@
+lib/arch/event.mli: Hscd_lang

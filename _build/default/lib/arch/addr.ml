@@ -1,0 +1,23 @@
+(** Word-address arithmetic over the shared address space.
+
+    Memory is word-addressed; lines hold [line_words] words; memory lines
+    are block-interleaved across processor nodes (the line's home). *)
+
+type t = { line_words : int; line_shift : int; processors : int }
+
+let of_config (c : Config.t) =
+  { line_words = c.line_words; line_shift = Hscd_util.Ints.ilog2 c.line_words; processors = c.processors }
+
+let line t addr = addr lsr t.line_shift
+
+let offset_in_line t addr = addr land (t.line_words - 1)
+
+let line_base t line = line lsl t.line_shift
+
+(** Home node (memory module) of a line: block-interleaved. *)
+let home t addr = line t addr mod t.processors
+
+let words_of_line t line = List.init t.line_words (fun k -> line_base t line + k)
+
+(** Is a memory access local to the issuing processor's node? *)
+let is_local t ~proc addr = home t addr = proc

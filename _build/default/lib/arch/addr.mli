@@ -1,0 +1,21 @@
+(** Word-address arithmetic over the shared address space: line extraction
+    and block-interleaved home nodes. *)
+
+type t
+
+val of_config : Config.t -> t
+
+(** Memory line number of a word address. *)
+val line : t -> int -> int
+
+val offset_in_line : t -> int -> int
+val line_base : t -> int -> int
+
+(** Home node (memory module) of a line: block-interleaved. *)
+val home : t -> int -> int
+
+(** The word addresses of a memory line, in order. *)
+val words_of_line : t -> int -> int list
+
+(** Is a memory access local to the issuing processor's node? *)
+val is_local : t -> proc:int -> int -> bool

@@ -1,0 +1,41 @@
+(** Memory events produced by instrumented execution and consumed by the
+    multiprocessor timing engine — the interface between the front half
+    (language + compiler) and the back half (caches + coherence). *)
+
+type rmark = Unmarked | Normal_read | Time_read of int | Bypass_read
+type wmark = Normal_write | Bypass_write
+
+type t =
+  | Compute of int  (** pure computation: that many CPU cycles *)
+  | Read of { addr : int; mark : rmark; value : int; array : string }
+      (** [value] is the golden (sequentially consistent) value the read
+          must observe; the engine checks every scheme against it *)
+  | Write of { addr : int; mark : wmark; value : int; array : string }
+  | Lock  (** acquire the global critical-section lock *)
+  | Unlock
+
+let of_ast_rmark : Hscd_lang.Ast.rmark -> rmark = function
+  | Hscd_lang.Ast.Unmarked -> Unmarked
+  | Hscd_lang.Ast.Normal_read -> Normal_read
+  | Hscd_lang.Ast.Time_read d -> Time_read d
+  | Hscd_lang.Ast.Bypass_read -> Bypass_read
+
+let of_ast_wmark : Hscd_lang.Ast.wmark -> wmark = function
+  | Hscd_lang.Ast.Normal_write -> Normal_write
+  | Hscd_lang.Ast.Bypass_write -> Bypass_write
+
+let is_memory_access = function Read _ | Write _ -> true | Compute _ | Lock | Unlock -> false
+
+let to_string = function
+  | Compute n -> Printf.sprintf "compute %d" n
+  | Read { addr; mark; value; array } ->
+    let m = match mark with
+      | Unmarked -> "" | Normal_read -> "/N" | Time_read d -> Printf.sprintf "/T%d" d
+      | Bypass_read -> "/B"
+    in
+    Printf.sprintf "read %s@%d%s=%d" array addr m value
+  | Write { addr; mark; value; array } ->
+    let m = match mark with Normal_write -> "" | Bypass_write -> "/B" in
+    Printf.sprintf "write %s@%d%s=%d" array addr m value
+  | Lock -> "lock"
+  | Unlock -> "unlock"

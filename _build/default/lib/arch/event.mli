@@ -1,0 +1,20 @@
+(** Memory events: the interface between the language/compiler front half
+    and the cache/coherence back half. *)
+
+type rmark = Unmarked | Normal_read | Time_read of int | Bypass_read
+type wmark = Normal_write | Bypass_write
+
+type t =
+  | Compute of int  (** pure computation: that many CPU cycles *)
+  | Read of { addr : int; mark : rmark; value : int; array : string }
+      (** [value] is the golden (sequentially consistent) value the read
+          must observe; the engine checks every scheme against it *)
+  | Write of { addr : int; mark : wmark; value : int; array : string }
+  | Lock  (** acquire the global critical-section lock *)
+  | Unlock
+
+val of_ast_rmark : Hscd_lang.Ast.rmark -> rmark
+val of_ast_wmark : Hscd_lang.Ast.wmark -> wmark
+
+val is_memory_access : t -> bool
+val to_string : t -> string

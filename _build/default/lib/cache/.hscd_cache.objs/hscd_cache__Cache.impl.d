@@ -1,0 +1,1 @@
+lib/cache/cache.ml: Array Hscd_arch Hscd_util List

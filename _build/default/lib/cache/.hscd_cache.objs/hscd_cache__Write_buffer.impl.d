@@ -1,0 +1,1 @@
+lib/cache/write_buffer.ml: Hscd_arch List

@@ -1,0 +1,1 @@
+lib/cache/write_buffer.mli: Hscd_arch

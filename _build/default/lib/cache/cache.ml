@@ -1,0 +1,128 @@
+(** Set-associative cache with per-word state.
+
+    The HSCD schemes need word-granular metadata (timetags, per-word valid
+    bits) while the directory scheme needs line-granular protocol state;
+    this structure supports both: each line carries a scheme-defined
+    [state] integer plus per-word valid bits, values (so the simulator can
+    check every load against the golden memory image), word metadata
+    (timetags) and per-word touch bits (for false-sharing classification). *)
+
+type line = {
+  mutable tag : int;  (** memory line number held, -1 when free *)
+  mutable state : int;  (** scheme-defined; 0 = invalid *)
+  mutable lru : int;
+  mutable fetch_seq : int array;  (** per word: global write-seq at fetch time *)
+  word_valid : bool array;
+  values : int array;
+  meta : int array;  (** scheme-defined per-word metadata (e.g. timetag epoch) *)
+  touched : bool array;  (** word used by the local processor since fetch *)
+  mutable reset_invalidated : bool;  (** invalidated by a two-phase reset *)
+  mutable inv_false_sharing : bool;  (** last invalidation was a false-sharing one *)
+  mutable inv_pending : bool;  (** line was invalidated by a remote write *)
+}
+
+type t = {
+  sets : line array array;
+  line_words : int;
+  line_shift : int;
+  set_mask : int;
+  mutable tick : int;
+  mutable evictions : int;
+}
+
+let invalid_state = 0
+
+let make_line line_words =
+  {
+    tag = -1;
+    state = invalid_state;
+    lru = 0;
+    fetch_seq = Array.make line_words 0;
+    word_valid = Array.make line_words false;
+    values = Array.make line_words 0;
+    meta = Array.make line_words 0;
+    touched = Array.make line_words false;
+    reset_invalidated = false;
+    inv_false_sharing = false;
+    inv_pending = false;
+  }
+
+let create (c : Hscd_arch.Config.t) =
+  let sets = Hscd_arch.Config.sets c in
+  {
+    sets = Array.init sets (fun _ -> Array.init c.assoc (fun _ -> make_line c.line_words));
+    line_words = c.line_words;
+    line_shift = Hscd_util.Ints.ilog2 c.line_words;
+    set_mask = sets - 1;
+    tick = 0;
+    evictions = 0;
+  }
+
+let line_of_addr t addr = addr lsr t.line_shift
+let offset_of_addr t addr = addr land (t.line_words - 1)
+let set_of_line t line = line land t.set_mask
+
+let touch_lru t line =
+  t.tick <- t.tick + 1;
+  line.lru <- t.tick
+
+(** Find the cache line currently holding [addr], if any (does not bump
+    LRU; callers decide). *)
+let probe t addr =
+  let mem_line = line_of_addr t addr in
+  let set = t.sets.(set_of_line t mem_line) in
+  let rec scan i =
+    if i >= Array.length set then None
+    else if set.(i).tag = mem_line && set.(i).state <> invalid_state then Some set.(i)
+    else scan (i + 1)
+  in
+  scan 0
+
+let find t addr =
+  match probe t addr with
+  | Some l -> touch_lru t l; Some l
+  | None -> None
+
+let clear_line l =
+  l.tag <- -1;
+  l.state <- invalid_state;
+  Array.fill l.word_valid 0 (Array.length l.word_valid) false;
+  Array.fill l.touched 0 (Array.length l.touched) false;
+  l.reset_invalidated <- false;
+  l.inv_false_sharing <- false;
+  l.inv_pending <- false
+
+(** Allocate a frame for [addr]'s line, calling [on_evict] on a valid
+    victim first (for write-back). The returned line has [tag] set, state
+    still invalid and all words invalid; the caller fills it. *)
+let allocate t ~on_evict addr =
+  let mem_line = line_of_addr t addr in
+  let set = t.sets.(set_of_line t mem_line) in
+  (* reuse the matching frame if present (e.g. refetch of an invalidated
+     line), else a free frame, else the LRU victim *)
+  let frame =
+    let matching = Array.to_list set |> List.find_opt (fun l -> l.tag = mem_line) in
+    match matching with
+    | Some l -> l
+    | None -> (
+      match Array.to_list set |> List.find_opt (fun l -> l.state = invalid_state) with
+      | Some l -> l
+      | None ->
+        let victim = Array.fold_left (fun a l -> if l.lru < a.lru then l else a) set.(0) set in
+        t.evictions <- t.evictions + 1;
+        on_evict victim;
+        victim)
+  in
+  clear_line frame;
+  frame.tag <- mem_line;
+  touch_lru t frame;
+  frame
+
+(** Iterate over every resident line. *)
+let iter_lines t f = Array.iter (fun set -> Array.iter (fun l -> if l.state <> invalid_state then f l) set) t.sets
+
+(** Number of currently valid lines (for occupancy stats/tests). *)
+let resident_lines t =
+  let n = ref 0 in
+  iter_lines t (fun _ -> incr n);
+  !n

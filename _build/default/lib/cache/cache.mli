@@ -1,0 +1,44 @@
+(** Set-associative cache with per-word state: word-granular valid bits,
+    values (for end-to-end correctness checking), scheme-defined per-word
+    metadata (timetags, versions) and line-level protocol state, plus the
+    bookkeeping fields the miss classifiers use. *)
+
+type line = {
+  mutable tag : int;  (** memory line number held, -1 when free *)
+  mutable state : int;  (** scheme-defined; 0 = invalid *)
+  mutable lru : int;
+  mutable fetch_seq : int array;  (** per word: global write-seq at fetch time *)
+  word_valid : bool array;
+  values : int array;
+  meta : int array;  (** scheme-defined per-word metadata *)
+  touched : bool array;  (** word used by the local processor since fetch *)
+  mutable reset_invalidated : bool;  (** invalidated by a two-phase reset *)
+  mutable inv_false_sharing : bool;  (** last invalidation was false sharing *)
+  mutable inv_pending : bool;  (** line was invalidated by a remote write *)
+}
+
+type t
+
+val invalid_state : int
+
+val create : Hscd_arch.Config.t -> t
+
+val line_of_addr : t -> int -> int
+val offset_of_addr : t -> int -> int
+val set_of_line : t -> int -> int
+
+(** Resident line holding the address, without an LRU update. *)
+val probe : t -> int -> line option
+
+(** Like {!probe} but bumps LRU on a hit. *)
+val find : t -> int -> line option
+
+(** Allocate a frame for the address's line, calling [on_evict] on a valid
+    victim first. The returned line has [tag] set, everything else
+    cleared; the caller fills it. *)
+val allocate : t -> on_evict:(line -> unit) -> int -> line
+
+(** Iterate over every resident line. *)
+val iter_lines : t -> (line -> unit) -> unit
+
+val resident_lines : t -> int

@@ -1,0 +1,68 @@
+(** Write-buffer models for the write-through schemes.
+
+    The paper uses an infinite write buffer by default: writes never stall
+    the processor but each one puts a word on the network. Organizing the
+    buffer as a small *write cache* (as in the DEC Alpha 21164 [15])
+    coalesces repeated writes to the same word within an epoch, removing
+    the redundant write traffic that hurts TPI on TRFD [9, 10]. This module
+    models the *traffic* effect; correctness-visible memory updates are
+    performed eagerly by the schemes (safe because DOALL epochs are
+    race-free and barriers drain buffers). *)
+
+type t =
+  | Plain
+  | Cache of {
+      entries : int;
+      mutable resident : (int * int) list;  (** (addr, lru); most-recent first *)
+      mutable tick : int;
+      mutable coalesced : int;
+      mutable flushed : int;
+    }
+
+let create (c : Hscd_arch.Config.t) =
+  match c.write_buffer with
+  | Hscd_arch.Config.Plain_buffer -> Plain
+  | Hscd_arch.Config.Write_cache entries ->
+    Cache { entries; resident = []; tick = 0; coalesced = 0; flushed = 0 }
+
+(** Record a write of [addr]; returns how many words of write traffic the
+    memory system sees *now*. *)
+let write t addr =
+  match t with
+  | Plain -> 1
+  | Cache wc ->
+    wc.tick <- wc.tick + 1;
+    if List.mem_assoc addr wc.resident then begin
+      (* coalesce: overwrite the pending entry, no new traffic *)
+      wc.coalesced <- wc.coalesced + 1;
+      wc.resident <- (addr, wc.tick) :: List.remove_assoc addr wc.resident;
+      0
+    end
+    else if List.length wc.resident < wc.entries then begin
+      wc.resident <- (addr, wc.tick) :: wc.resident;
+      0
+    end
+    else begin
+      (* evict the least recently written entry: one word reaches memory *)
+      let rec drop_oldest acc = function
+        | [] -> List.rev acc
+        | [ _ ] -> List.rev acc
+        | x :: rest -> drop_oldest (x :: acc) rest
+      in
+      let sorted = List.sort (fun (_, a) (_, b) -> compare b a) wc.resident in
+      wc.resident <- (addr, wc.tick) :: drop_oldest [] sorted;
+      wc.flushed <- wc.flushed + 1;
+      1
+    end
+
+(** Epoch boundary: drain everything; returns words of write traffic. *)
+let drain t =
+  match t with
+  | Plain -> 0
+  | Cache wc ->
+    let n = List.length wc.resident in
+    wc.resident <- [];
+    wc.flushed <- wc.flushed + n;
+    n
+
+let coalesced_writes t = match t with Plain -> 0 | Cache wc -> wc.coalesced

@@ -1,0 +1,17 @@
+(** Write-buffer traffic models for the write-through schemes: an infinite
+    plain buffer (every store reaches memory) or a small write cache that
+    coalesces repeated stores to the same word within an epoch [9, 10, 15]. *)
+
+type t
+
+val create : Hscd_arch.Config.t -> t
+
+(** Record a store to a word address; returns how many words of write
+    traffic reach the memory system now (0 when buffered/coalesced). *)
+val write : t -> int -> int
+
+(** Epoch boundary: drain all pending entries; returns flushed words. *)
+val drain : t -> int
+
+(** Stores eliminated by coalescing so far. *)
+val coalesced_writes : t -> int

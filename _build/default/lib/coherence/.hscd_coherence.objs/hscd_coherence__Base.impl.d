@@ -1,0 +1,1 @@
+lib/coherence/base.ml: Array Hscd_arch Hscd_network Memstate Scheme

@@ -1,0 +1,1 @@
+lib/coherence/limitless.ml: Array Hscd_arch Hscd_util Hwdir Scheme

@@ -1,0 +1,1 @@
+lib/coherence/overhead.ml: Hscd_arch Printf

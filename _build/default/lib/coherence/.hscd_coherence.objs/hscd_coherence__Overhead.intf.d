@@ -1,0 +1,1 @@
+lib/coherence/overhead.mli: Hscd_arch

@@ -1,0 +1,1 @@
+lib/coherence/sc.ml: Array Hscd_arch Hscd_cache Memstate Scheme Wt_common

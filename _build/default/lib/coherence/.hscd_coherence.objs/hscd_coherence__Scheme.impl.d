@@ -1,0 +1,1 @@
+lib/coherence/scheme.ml: Hscd_arch Hscd_network

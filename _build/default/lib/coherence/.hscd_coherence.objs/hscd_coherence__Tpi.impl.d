@@ -1,0 +1,1 @@
+lib/coherence/tpi.ml: Array Hscd_arch Hscd_cache Hscd_network Memstate Scheme Wt_common

@@ -1,0 +1,1 @@
+lib/coherence/vc.ml: Array Hashtbl Hscd_arch Hscd_cache Hscd_network Memstate Scheme Wt_common

@@ -1,0 +1,1 @@
+lib/coherence/wt_common.ml: Array Bytes Hscd_arch Hscd_cache Hscd_network Hscd_util Memstate Scheme

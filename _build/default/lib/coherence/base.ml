@@ -1,0 +1,52 @@
+(** BASE scheme: no caching of shared data at all.
+
+    This is the software baseline of machines like the Cray T3D without
+    coherence support: every reference to shared (array) data is a remote
+    memory access; only private data (scalars, which live in registers or
+    local stacks and never appear in the event stream) is cached. *)
+
+module Kruskal_snir = Hscd_network.Kruskal_snir
+module Traffic = Hscd_network.Traffic
+
+
+module Config = Hscd_arch.Config
+module Event = Hscd_arch.Event
+
+type t = {
+  cfg : Config.t;
+  mem : Memstate.t;
+  net : Kruskal_snir.t;
+  traffic : Traffic.t;
+  st : Scheme.stats;
+}
+
+let name = "BASE"
+
+let create cfg ~memory_words ~network ~traffic =
+  { cfg; mem = Memstate.create ~words:memory_words; net = network; traffic; st = Scheme.fresh_stats () }
+
+let read t ~proc:_ ~addr ~array:_ ~mark:_ =
+  Traffic.add_control t.traffic Scheme.control_words;
+  Traffic.add_read t.traffic 1;
+  {
+    Scheme.latency = Scheme.transfer_latency t.cfg t.net ~words:1;
+    value = Memstate.read t.mem addr;
+    cls = Scheme.Uncached;
+  }
+
+let write t ~proc ~addr ~array:_ ~value ~mark:_ =
+  Memstate.write t.mem ~proc addr value;
+  Traffic.add_write t.traffic 1;
+  Traffic.add_control t.traffic Scheme.control_words;
+  let latency =
+    match t.cfg.Config.consistency with
+    | Config.Weak -> 1 (* retires through the infinite write buffer *)
+    | Config.Sequential -> Scheme.transfer_latency t.cfg t.net ~words:1
+  in
+  { Scheme.latency; value; cls = Scheme.Uncached }
+
+let epoch_boundary t = Array.make t.cfg.processors 0
+
+let stats t = t.st
+
+let memory_image t = t.mem.Memstate.values

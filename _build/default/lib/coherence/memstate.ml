@@ -1,0 +1,54 @@
+(** Global memory image plus per-word write-history tracking.
+
+    The values are the sequentially-consistent memory contents (updated in
+    trace order, which is race-free outside the serialized critical
+    sections), letting every scheme return the exact value a load observes
+    and the engine verify it against the golden interpreter.
+
+    The history answers, in O(1) per write and query, the classification
+    question "has any processor other than [p] written word [a] since
+    sequence number [s]?" — which distinguishes the paper's *unnecessary*
+    (compiler-conservative or false-sharing) misses from true sharing
+    misses. We keep, per word, the last writer, its sequence number, and
+    the latest sequence number written by anyone other than the last
+    writer; that is sufficient for any querying processor. *)
+
+type t = {
+  values : int array;
+  last_writer : int array;  (** -1 when never written *)
+  last_seq : int array;
+  prev_other_seq : int array;  (** latest write by someone != last_writer *)
+  mutable seq : int;
+}
+
+let create ~words =
+  {
+    values = Array.make (max 1 words) 0;
+    last_writer = Array.make (max 1 words) (-1);
+    last_seq = Array.make (max 1 words) 0;
+    prev_other_seq = Array.make (max 1 words) 0;
+    seq = 0;
+  }
+
+let read t addr = t.values.(addr)
+
+let write t ~proc addr value =
+  t.seq <- t.seq + 1;
+  t.values.(addr) <- value;
+  if t.last_writer.(addr) <> proc then begin
+    (* the previous last write (by a different processor, or never) becomes
+       the latest other-writer event for the new last writer *)
+    if t.last_writer.(addr) >= 0 then t.prev_other_seq.(addr) <- t.last_seq.(addr);
+    t.last_writer.(addr) <- proc
+  end;
+  t.last_seq.(addr) <- t.seq
+
+(** Latest write sequence number of a write to [addr] by a processor other
+    than [proc]; 0 if none ever. *)
+let foreign_seq t ~proc addr =
+  if t.last_writer.(addr) < 0 then 0
+  else if t.last_writer.(addr) <> proc then t.last_seq.(addr)
+  else t.prev_other_seq.(addr)
+
+(** Has any other processor written [addr] since sequence point [since]? *)
+let foreign_write_since t ~proc ~since addr = foreign_seq t ~proc addr > since

@@ -1,0 +1,24 @@
+(** Global memory image plus per-word write-history tracking, shared by
+    every scheme. Answers in O(1): "has any processor other than [p]
+    written word [a] since sequence point [s]?" — the test separating
+    unnecessary (conservative / false-sharing) misses from true sharing. *)
+
+type t = {
+  values : int array;
+  last_writer : int array;  (** -1 when never written *)
+  last_seq : int array;
+  prev_other_seq : int array;  (** latest write by someone != last_writer *)
+  mutable seq : int;
+}
+
+val create : words:int -> t
+
+val read : t -> int -> int
+
+val write : t -> proc:int -> int -> int -> unit
+
+(** Latest sequence number of a write to the word by a processor other
+    than [proc]; 0 if none ever. *)
+val foreign_seq : t -> proc:int -> int -> int
+
+val foreign_write_since : t -> proc:int -> since:int -> int -> bool

@@ -1,0 +1,35 @@
+(** Storage overhead of the coherence schemes — the closed-form comparison
+    of the paper's Figure 5 (full-map directory, LimitLess DIR_NB(i), and
+    TPI timetags). *)
+
+type params = {
+  processors : int;  (** P *)
+  line_words : int;  (** L *)
+  cache_lines : int;  (** C, per node *)
+  memory_blocks : int;  (** M, per node *)
+  limitless_i : int;  (** pointers of DIR_NB(i) *)
+  timetag_bits : int;
+}
+
+(** The paper's headline configuration (P = 1024, i = 10), calibrated so
+    the printed totals match Figure 5. *)
+val paper_default : params
+
+val of_config : ?memory_bytes_per_node:int -> Hscd_arch.Config.t -> params
+
+type overhead = { cache_sram_bits : int; memory_dram_bits : int }
+
+val bits_to_bytes : int -> int
+
+(** 2 bits of state per cache line; (P+2) bits per memory block. *)
+val full_map : params -> overhead
+
+(** 2 bits per cache line; i pointers of ceil(log2 P) bits + 2 state bits
+    per block. *)
+val limitless : params -> overhead
+
+(** One timetag per cache word; no memory overhead at all. *)
+val tpi : params -> overhead
+
+(** The three rows of Figure 5, labelled. *)
+val describe : params -> (string * overhead) list

@@ -1,0 +1,90 @@
+(** Common interface of the four coherence schemes compared by the paper
+    (BASE, SC, TPI, HW) plus shared cost helpers. *)
+
+module Kruskal_snir = Hscd_network.Kruskal_snir
+module Traffic = Hscd_network.Traffic
+
+
+module Config = Hscd_arch.Config
+module Event = Hscd_arch.Event
+
+(** Outcome classification of one memory access, following the paper's
+    miss taxonomy: cold and replacement misses are capacity effects; true
+    sharing misses are necessary for coherence; false sharing (hardware
+    protocols) and conservative (compiler schemes) misses are the
+    *unnecessary* misses the evaluation compares; reset misses come from
+    timetag recycling; uncached accesses are BASE's remote references and
+    bypasses. *)
+type miss_class =
+  | Hit
+  | Cold
+  | Replacement
+  | True_sharing
+  | False_sharing
+  | Conservative
+  | Reset_inv
+  | Uncached
+
+let class_name = function
+  | Hit -> "hit"
+  | Cold -> "cold"
+  | Replacement -> "repl"
+  | True_sharing -> "true-share"
+  | False_sharing -> "false-share"
+  | Conservative -> "conservative"
+  | Reset_inv -> "reset"
+  | Uncached -> "uncached"
+
+type access_result = {
+  latency : int;  (** cycles the issuing processor stalls *)
+  value : int;  (** value delivered to the processor (reads) *)
+  cls : miss_class;
+}
+
+(** Aggregate counters every scheme exposes. *)
+type stats = {
+  mutable invalidations_sent : int;
+  mutable dirty_recalls : int;
+  mutable two_phase_resets : int;
+  mutable upgrades : int;
+  mutable writebacks : int;
+}
+
+let fresh_stats () =
+  { invalidations_sent = 0; dirty_recalls = 0; two_phase_resets = 0; upgrades = 0; writebacks = 0 }
+
+module type S = sig
+  type t
+
+  val name : string
+
+  val create :
+    Config.t -> memory_words:int -> network:Kruskal_snir.t -> traffic:Traffic.t -> t
+
+  val read : t -> proc:int -> addr:int -> array:string -> mark:Event.rmark -> access_result
+
+  val write :
+    t -> proc:int -> addr:int -> array:string -> value:int -> mark:Event.wmark -> access_result
+
+  (** Called at every epoch boundary; returns per-processor stall cycles
+      (two-phase resets, buffer drains). *)
+  val epoch_boundary : t -> int array
+
+  val stats : t -> stats
+
+  (** Final memory image, for end-of-run comparison against the golden
+      interpreter. *)
+  val memory_image : t -> int array
+end
+
+type packed = Packed : (module S with type t = 't) * 't -> packed
+
+(** Latency of a remote transaction transferring [words] words at the
+    current network load. *)
+let transfer_latency (c : Config.t) (net : Kruskal_snir.t) ~words =
+  c.miss_base_cycles
+  + (max 0 (words - 1) * c.word_transfer_cycles)
+  + Kruskal_snir.round_trip_excess net
+
+(** Header/request words accompanying a transaction. *)
+let control_words = 1

@@ -1,0 +1,115 @@
+(** TPI — the paper's Two-Phase Invalidation scheme.
+
+    Hardware model: each processor keeps an epoch counter (incremented at
+    every epoch boundary, all processors in lockstep thanks to barriers)
+    and a timetag per cache *word*. A write stamps the word with the
+    current epoch; an allocating line fill stamps the referenced word with
+    the current epoch and its companions with epoch−1 (the paper's
+    "R counter − 1" rule, which neutralizes same-epoch cross-task reuse of
+    line companions). A [Time_read d] may hit only if the word's age is at
+    most [d] epochs. Timetags are recycled by the two-phase reset: every
+    [2^(bits-1)] epochs the cache flash-invalidates all words at least one
+    phase old, stalling the processor for the reset cost; ages therefore
+    never exceed the tag range, keeping the hardware comparison exact. *)
+
+module Cache = Hscd_cache.Cache
+module Traffic = Hscd_network.Traffic
+
+
+module Config = Hscd_arch.Config
+module Event = Hscd_arch.Event
+
+type t = {
+  w : Wt_common.t;
+  mutable epoch : int;
+  phase : int;  (** reset period: 2^(timetag_bits - 1) epochs *)
+}
+
+let name = "TPI"
+
+let create cfg ~memory_words ~network ~traffic =
+  {
+    w = Wt_common.create cfg ~memory_words ~network ~traffic;
+    epoch = 0;
+    phase = Config.phase_epochs cfg;
+  }
+
+let age t tag = t.epoch - tag
+
+(* A word whose age reached the previous phase would have been wiped by the
+   two-phase reset; enforced eagerly in [epoch_boundary], so a valid word's
+   tag is always hardware-representable. *)
+let word_hit t (line : Cache.line) ~off ~(mark : Event.rmark) =
+  line.word_valid.(off)
+  &&
+  match mark with
+  | Event.Normal_read | Event.Unmarked -> true
+  | Event.Time_read d -> age t line.meta.(off) <= d
+  | Event.Bypass_read -> false
+
+let read t ~proc ~addr ~array:_ ~mark =
+  let w = t.w in
+  let off = addr land (w.cfg.line_words - 1) in
+  match mark with
+  | Event.Bypass_read ->
+    (* fetch the word uncached *)
+    Traffic.add_read w.traffic 1;
+    Traffic.add_control w.traffic Scheme.control_words;
+    let cls =
+      match Cache.probe w.caches.(proc) addr with
+      | Some line when line.word_valid.(off) -> Wt_common.stale_copy_class w ~proc ~line addr
+      | Some _ | None -> Scheme.Uncached
+    in
+    { Scheme.latency = Wt_common.word_fetch_latency w; value = Memstate.read w.mem addr; cls }
+  | _ -> (
+    match Cache.find w.caches.(proc) addr with
+    | Some line when word_hit t line ~off ~mark ->
+      line.touched.(off) <- true;
+      { Scheme.latency = w.cfg.hit_cycles; value = line.values.(off); cls = Scheme.Hit }
+    | probed ->
+      let cls =
+        match probed with
+        | Some line when line.word_valid.(off) ->
+          (* resident but too old for the Time-Read window *)
+          Wt_common.stale_copy_class w ~proc ~line addr
+        | Some line when line.reset_invalidated -> ignore line; Scheme.Reset_inv
+        | Some _ | None -> Wt_common.absent_class w ~proc addr
+      in
+      let line =
+        Wt_common.fetch_line w ~proc ~addr ~ref_meta:t.epoch ~other_meta:(t.epoch - 1)
+      in
+      { Scheme.latency = Wt_common.line_fetch_latency w; value = line.values.(off); cls })
+
+let write t ~proc ~addr ~array:_ ~value ~mark =
+  match mark with
+  | Event.Normal_write ->
+    Wt_common.write_through t.w ~proc ~addr ~value ~meta:t.epoch ~other_meta:(t.epoch - 1)
+  | Event.Bypass_write -> Wt_common.write_bypass t.w ~proc ~addr ~value ~meta:t.epoch
+
+let epoch_boundary t =
+  let w = t.w in
+  Wt_common.drain_buffers w;
+  t.epoch <- t.epoch + 1;
+  let stalls = Array.make w.cfg.processors 0 in
+  if t.epoch mod t.phase = 0 then begin
+    w.st.two_phase_resets <- w.st.two_phase_resets + 1;
+    Array.iteri
+      (fun p cache ->
+        stalls.(p) <- w.cfg.two_phase_reset_cycles;
+        Cache.iter_lines cache (fun line ->
+            let any_invalidated = ref false in
+            Array.iteri
+              (fun k valid ->
+                if valid && age t line.meta.(k) >= t.phase then begin
+                  line.word_valid.(k) <- false;
+                  any_invalidated := true
+                end)
+              line.word_valid;
+            if !any_invalidated then line.reset_invalidated <- true))
+      w.caches
+  end;
+  stalls
+
+let stats t = t.w.st
+
+let memory_image t = t.w.Wt_common.mem.Memstate.values

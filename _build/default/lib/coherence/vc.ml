@@ -1,0 +1,83 @@
+(** VC — version-control coherence, after Cheong & Veidenbaum [14].
+
+    Every shared variable (array) has a *current version number* (CVN),
+    maintained in registers and incremented at the end of every epoch that
+    wrote the variable. Every cache word records the version it belongs
+    to: a write creates the next version (CVN+1); a line fill tags the
+    referenced word with the CVN and, as in TPI, its companions with CVN−1
+    (so same-epoch cross-task reuse of companions is rejected). A
+    compiler-flagged reference ([Time_read]/[Bypass] marks — the distance
+    is ignored, VC has no distance notion) may hit only if the cached
+    word's version is current, i.e. [>= CVN].
+
+    VC therefore invalidates at *variable* granularity where TPI reasons
+    per section and epoch distance: writing any part of an array makes
+    every older cached word of that array unusable for flagged reads.
+    Comparing the two quantifies the value of TPI's epoch distances — a
+    reproduction of the Lilja [26] comparison cited by the paper. *)
+
+module Cache = Hscd_cache.Cache
+module Kruskal_snir = Hscd_network.Kruskal_snir
+module Traffic = Hscd_network.Traffic
+module Config = Hscd_arch.Config
+module Event = Hscd_arch.Event
+
+type t = {
+  w : Wt_common.t;
+  versions : (string, int) Hashtbl.t;  (** CVN per array *)
+  written_this_epoch : (string, unit) Hashtbl.t;
+}
+
+let name = "VC"
+
+let create cfg ~memory_words ~network ~traffic =
+  {
+    w = Wt_common.create cfg ~memory_words ~network ~traffic;
+    versions = Hashtbl.create 16;
+    written_this_epoch = Hashtbl.create 16;
+  }
+
+let cvn t array = match Hashtbl.find_opt t.versions array with Some v -> v | None -> 0
+
+let read t ~proc ~addr ~array ~mark =
+  let w = t.w in
+  let off = addr land (w.cfg.line_words - 1) in
+  let version_ok (line : Cache.line) =
+    match mark with
+    | Event.Normal_read | Event.Unmarked -> true
+    | Event.Time_read _ -> line.meta.(off) >= cvn t array
+    | Event.Bypass_read -> false
+  in
+  match Cache.find w.caches.(proc) addr with
+  | Some line when line.word_valid.(off) && version_ok line ->
+    line.touched.(off) <- true;
+    { Scheme.latency = w.cfg.hit_cycles; value = line.values.(off); cls = Scheme.Hit }
+  | probed ->
+    let cls =
+      match probed with
+      | Some line when line.word_valid.(off) -> Wt_common.stale_copy_class w ~proc ~line addr
+      | Some _ | None -> Wt_common.absent_class w ~proc addr
+    in
+    let v = cvn t array in
+    let line = Wt_common.fetch_line w ~proc ~addr ~ref_meta:v ~other_meta:(v - 1) in
+    { Scheme.latency = Wt_common.line_fetch_latency w; value = line.values.(off); cls }
+
+let write t ~proc ~addr ~array ~value ~mark =
+  Hashtbl.replace t.written_this_epoch array ();
+  let next = cvn t array + 1 in
+  match mark with
+  | Event.Normal_write ->
+    Wt_common.write_through t.w ~proc ~addr ~value ~meta:next ~other_meta:(cvn t array - 1)
+  | Event.Bypass_write -> Wt_common.write_bypass t.w ~proc ~addr ~value ~meta:next
+
+let epoch_boundary t =
+  Wt_common.drain_buffers t.w;
+  (* bump the CVN of every variable written during the epoch *)
+  Hashtbl.iter (fun array () -> Hashtbl.replace t.versions array (cvn t array + 1))
+    t.written_this_epoch;
+  Hashtbl.reset t.written_this_epoch;
+  Array.make t.w.cfg.processors 0
+
+let stats t = t.w.st
+
+let memory_image t = t.w.Wt_common.mem.Memstate.values

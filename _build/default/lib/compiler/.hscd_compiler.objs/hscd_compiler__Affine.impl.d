@@ -1,0 +1,1 @@
+lib/compiler/affine.pp.ml: List Printf String

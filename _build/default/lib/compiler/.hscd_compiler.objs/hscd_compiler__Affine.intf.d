@@ -1,0 +1,1 @@
+lib/compiler/affine.pp.mli:

@@ -1,0 +1,1 @@
+lib/compiler/analysis.pp.ml: Affine Array Callgraph Epochgraph Gsa Hashtbl Hscd_lang List Option Sections Segment

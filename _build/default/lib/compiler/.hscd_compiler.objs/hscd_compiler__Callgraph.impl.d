@@ -1,0 +1,1 @@
+lib/compiler/callgraph.pp.ml: Hashtbl Hscd_lang List

@@ -1,0 +1,1 @@
+lib/compiler/callgraph.pp.mli: Hashtbl Hscd_lang

@@ -1,0 +1,1 @@
+lib/compiler/epochgraph.pp.ml: Array Gsa Hscd_lang List Sections Segment

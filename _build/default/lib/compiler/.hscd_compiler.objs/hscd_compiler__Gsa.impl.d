@@ -1,0 +1,1 @@
+lib/compiler/gsa.pp.ml: Affine Hscd_lang List Option Sections

@@ -1,0 +1,1 @@
+lib/compiler/gsa.pp.mli: Affine Hscd_lang Sections

@@ -1,0 +1,1 @@
+lib/compiler/marking.pp.ml: Affine Analysis Epochgraph Gsa Hashtbl Hscd_lang List Segment

@@ -1,0 +1,1 @@
+lib/compiler/marking.pp.mli: Analysis Hscd_lang

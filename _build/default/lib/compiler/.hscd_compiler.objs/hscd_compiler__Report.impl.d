@@ -1,0 +1,1 @@
+lib/compiler/report.pp.ml: Hscd_lang List Marking Printf String

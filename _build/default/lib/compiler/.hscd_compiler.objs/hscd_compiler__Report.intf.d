@@ -1,0 +1,1 @@
+lib/compiler/report.pp.mli: Hscd_lang Marking

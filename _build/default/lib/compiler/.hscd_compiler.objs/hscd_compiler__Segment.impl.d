@@ -1,0 +1,1 @@
+lib/compiler/segment.pp.ml: Hscd_lang List

@@ -1,0 +1,1 @@
+lib/compiler/segment.pp.mli: Hscd_lang

@@ -1,0 +1,118 @@
+(** Affine symbolic forms over loop indices and procedure parameters.
+
+    The demand-driven symbolic analysis (the paper uses GSA [4] for this)
+    reduces scalar values and subscripts to [c0 + Σ ci·xi] where the [xi]
+    are loop indices or opaque symbols. Anything it cannot represent is
+    [Unknown], which downstream analyses widen to whole dimensions. *)
+
+type t =
+  | Affine of { terms : (string * int) list; const : int }
+      (** [terms] sorted by variable, no zero coefficients *)
+  | Unknown
+
+let const c = Affine { terms = []; const = c }
+
+let var ?(coef = 1) v = if coef = 0 then const 0 else Affine { terms = [ (v, coef) ]; const = 0 }
+
+let unknown = Unknown
+
+let normalize terms =
+  terms
+  |> List.filter (fun (_, c) -> c <> 0)
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let merge_terms f a b =
+  let rec go a b =
+    match (a, b) with
+    | [], rest -> List.map (fun (v, c) -> (v, f 0 c)) rest
+    | rest, [] -> List.map (fun (v, c) -> (v, f c 0)) rest
+    | (va, ca) :: ta, (vb, cb) :: tb ->
+      if va = vb then (va, f ca cb) :: go ta tb
+      else if va < vb then (va, f ca 0) :: go ta ((vb, cb) :: tb)
+      else (vb, f 0 cb) :: go ((va, ca) :: ta) tb
+  in
+  normalize (go a b)
+
+let add x y =
+  match (x, y) with
+  | Affine a, Affine b -> Affine { terms = merge_terms ( + ) a.terms b.terms; const = a.const + b.const }
+  | _ -> Unknown
+
+let neg = function
+  | Affine a -> Affine { terms = List.map (fun (v, c) -> (v, -c)) a.terms; const = -a.const }
+  | Unknown -> Unknown
+
+let sub x y = add x (neg y)
+
+let scale k = function
+  | Affine { terms; const = c } ->
+    if k = 0 then const 0
+    else Affine { terms = normalize (List.map (fun (v, cv) -> (v, cv * k)) terms); const = c * k }
+  | Unknown -> if k = 0 then const 0 else Unknown
+
+let mul x y =
+  match (x, y) with
+  | Affine { terms = []; const = k }, e | e, Affine { terms = []; const = k } -> scale k e
+  | _ -> Unknown
+
+let equal x y =
+  match (x, y) with
+  | Affine a, Affine b -> a.terms = b.terms && a.const = b.const
+  | Unknown, Unknown -> false (* two unknowns are never provably equal *)
+  | _ -> false
+
+let is_const = function Affine { terms = []; const } -> Some const | _ -> None
+
+(** Coefficient of variable [v] (0 when absent or unknown form). *)
+let coef_of v = function
+  | Affine { terms; _ } -> ( match List.assoc_opt v terms with Some c -> c | None -> 0)
+  | Unknown -> 0
+
+let vars = function Affine { terms; _ } -> List.map fst terms | Unknown -> []
+
+(** Substitute variable [v] by affine [by]. *)
+let subst v by = function
+  | Unknown -> Unknown
+  | Affine { terms; const } as e -> (
+    match List.assoc_opt v terms with
+    | None -> e
+    | Some c ->
+      let rest = Affine { terms = List.remove_assoc v terms; const } in
+      add rest (scale c by))
+
+(** Evaluate to a constant given bindings for every variable; None if any
+    variable is unbound or the form is unknown. *)
+let eval bindings = function
+  | Unknown -> None
+  | Affine { terms; const } ->
+    List.fold_left
+      (fun acc (v, c) ->
+        match (acc, List.assoc_opt v bindings) with
+        | Some s, Some value -> Some (s + (c * value))
+        | _ -> None)
+      (Some const) terms
+
+(** Bound the value of the form given per-variable inclusive ranges; None
+    if a variable has no known range. Returns (min, max). *)
+let range (ranges : (string * (int * int)) list) = function
+  | Unknown -> None
+  | Affine { terms; const } ->
+    List.fold_left
+      (fun acc (v, c) ->
+        match (acc, List.assoc_opt v ranges) with
+        | Some (lo, hi), Some (vlo, vhi) ->
+          if c >= 0 then Some (lo + (c * vlo), hi + (c * vhi))
+          else Some (lo + (c * vhi), hi + (c * vlo))
+        | _ -> None)
+      (Some (const, const)) terms
+
+let to_string = function
+  | Unknown -> "?"
+  | Affine { terms; const } ->
+    let term_str (v, c) =
+      if c = 1 then v else if c = -1 then "-" ^ v else Printf.sprintf "%d%s" c v
+    in
+    (match (terms, const) with
+    | [], c -> string_of_int c
+    | ts, 0 -> String.concat "+" (List.map term_str ts)
+    | ts, c -> String.concat "+" (List.map term_str ts) ^ Printf.sprintf "%+d" c)

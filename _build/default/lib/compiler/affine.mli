@@ -1,0 +1,43 @@
+(** Affine symbolic forms [c0 + Σ ci·xi] over loop indices and opaque
+    symbols, with [Unknown] as the top element. *)
+
+type t =
+  | Affine of { terms : (string * int) list; const : int }
+      (** [terms] sorted by variable, no zero coefficients *)
+  | Unknown
+
+val const : int -> t
+val var : ?coef:int -> string -> t
+val unknown : t
+
+val add : t -> t -> t
+val neg : t -> t
+val sub : t -> t -> t
+
+(** Multiply by a constant. *)
+val scale : int -> t -> t
+
+(** General product; [Unknown] unless one side is constant. *)
+val mul : t -> t -> t
+
+(** Provable equality; two [Unknown]s are never equal. *)
+val equal : t -> t -> bool
+
+val is_const : t -> int option
+
+(** Coefficient of a variable (0 when absent or unknown form). *)
+val coef_of : string -> t -> int
+
+val vars : t -> string list
+
+(** Substitute a variable by an affine form. *)
+val subst : string -> t -> t -> t
+
+(** Evaluate under complete bindings; [None] if a variable is unbound or
+    the form is unknown. *)
+val eval : (string * int) list -> t -> int option
+
+(** Bound the value given per-variable inclusive ranges. *)
+val range : (string * (int * int)) list -> t -> (int * int) option
+
+val to_string : t -> string

@@ -1,0 +1,311 @@
+(** Whole-program coherence analysis.
+
+    Orchestrates, per procedure: segmentation into the epoch IR, epoch flow
+    graph construction, MOD (write) collection with symbolic sections, and
+    interprocedural summaries in two passes — bottom-up for side effects
+    and exit allowances, top-down for call-site entry contexts. The result
+    feeds {!Marking}. *)
+
+module Ast = Hscd_lang.Ast
+
+type proc_analysis = {
+  ir : Segment.t;
+  graph : Epochgraph.graph;
+  anno : Epochgraph.aunit list;
+  summary : Epochgraph.summary;
+}
+
+type t = {
+  program : Ast.program;
+  cg : Callgraph.t;
+  procs : (string, proc_analysis) Hashtbl.t;
+  entry_allow : (string, (string * (int option * int option)) list) Hashtbl.t;
+  static_sched : bool;
+  intertask : bool;
+}
+
+let dims_of program name =
+  match Ast.find_array program name with Some d -> d.Ast.dims | None -> [ 1 ]
+
+(* --- write collection --- *)
+
+(* Walk epoch-free statements, threading the symbolic context and recording
+   every array write into [node]. [par] is true inside a DOALL body. *)
+let rec collect_stmts t ctx ~(node : Epochgraph.node) ~par stmts =
+  List.fold_left (fun ctx s -> collect_stmt t ctx ~node ~par s) ctx stmts
+
+and collect_stmt t ctx ~node ~par (s : Ast.stmt) =
+  match s with
+  | Ast.Assign (v, e) -> Gsa.bind ctx v (Gsa.expr_to_affine ctx e)
+  | Ast.Store (a, idx, _, _) ->
+    let dims = dims_of t.program a in
+    (match Gsa.section_of_subscripts ctx ~dims idx with
+    | None -> () (* provably empty: the store cannot execute in bounds *)
+    | Some section ->
+      let kind =
+        if par then Epochgraph.WPar (Gsa.anchor_of_reference ctx idx) else Epochgraph.WSerial
+      in
+      node.writes <- { Epochgraph.w_array = a; w_section = section; w_kind = kind } :: node.writes);
+    ctx
+  | Ast.Work _ -> ctx
+  | Ast.Critical body -> collect_stmts t ctx ~node ~par body
+  | Ast.If (_, th, el) ->
+    let ct = collect_stmts t ctx ~node ~par th in
+    let ce = collect_stmts t ctx ~node ~par el in
+    Gsa.gamma ctx ct ce
+  | Ast.Do l ->
+    let inner =
+      Gsa.push_loop (Gsa.widen_for_loop ctx l.body)
+        {
+          Gsa.index = l.index;
+          lo = Gsa.expr_to_affine ctx l.lo;
+          hi = Gsa.expr_to_affine ctx l.hi;
+          parallel = false;
+        }
+    in
+    ignore (collect_stmts t inner ~node ~par l.body);
+    Gsa.widen_for_loop ctx l.body
+  | Ast.Doall _ -> invalid_arg "Analysis: doall inside an epoch-free segment"
+  | Ast.Call (name, _) ->
+    (* non-epoch callee: its writes happen within the current epoch on the
+       current processor's task; sections come from its summary *)
+    (match Hashtbl.find_opt t.procs name with
+    | None -> ()
+    | Some pa ->
+      List.iter
+        (fun (a, section) ->
+          let kind = if par then Epochgraph.WPar None else Epochgraph.WSerial in
+          node.writes <-
+            { Epochgraph.w_array = a; w_section = section; w_kind = kind } :: node.writes)
+        (Sections.Map.bindings pa.summary.mod_map));
+    ctx
+
+(* Walk the epoch IR and its annotation in lockstep, filling node writes.
+   Returns the context after the unit sequence. *)
+let rec collect_units t ctx (graph : Epochgraph.graph) units annos =
+  List.fold_left2 (fun ctx u a -> collect_unit t ctx graph u a) ctx units annos
+
+and collect_unit t ctx (graph : Epochgraph.graph) (u : Segment.unit_) (a : Epochgraph.aunit) =
+  match (u, a) with
+  | Segment.USerial stmts, Epochgraph.ANSerial id ->
+    collect_stmts t ctx ~node:graph.nodes.(id) ~par:false stmts
+  | Segment.UPar l, Epochgraph.ANPar { par; _ } ->
+    let inner =
+      Gsa.push_loop (Gsa.widen_for_loop ctx l.body)
+        {
+          Gsa.index = l.index;
+          lo = Gsa.expr_to_affine ctx l.lo;
+          hi = Gsa.expr_to_affine ctx l.hi;
+          parallel = true;
+        }
+    in
+    ignore (collect_stmts t inner ~node:graph.nodes.(par) ~par:true l.body);
+    Gsa.widen_for_loop ctx l.body
+  | Segment.UDo (h, body), Epochgraph.ANDo { body = anno_body; _ } ->
+    let body_stmts = Segment.to_stmts body in
+    let inner =
+      Gsa.push_loop
+        (List.fold_left (fun c v -> Gsa.bind c v Affine.unknown) ctx (Gsa.assigned_scalars body_stmts))
+        {
+          Gsa.index = h.index;
+          lo = Gsa.expr_to_affine ctx h.lo;
+          hi = Gsa.expr_to_affine ctx h.hi;
+          parallel = false;
+        }
+    in
+    ignore (collect_units t inner graph body anno_body);
+    List.fold_left (fun c v -> Gsa.bind c v Affine.unknown) ctx (Gsa.assigned_scalars body_stmts)
+  | Segment.UIf (_, th, el), Epochgraph.ANIf { then_; else_; _ } ->
+    let ct = collect_units t ctx graph th then_ in
+    let ce = collect_units t ctx graph el else_ in
+    Gsa.gamma ctx ct ce
+  | Segment.UCallE (name, _), Epochgraph.ANCall id ->
+    (match Hashtbl.find_opt t.procs name with
+    | None -> ()
+    | Some pa ->
+      let node = graph.nodes.(id) in
+      List.iter
+        (fun (arr, section) ->
+          node.writes <-
+            { Epochgraph.w_array = arr; w_section = section; w_kind = Epochgraph.WCall name }
+            :: node.writes)
+        (Sections.Map.bindings pa.summary.mod_map));
+    ctx
+  | _ -> invalid_arg "Analysis: IR/annotation shape mismatch"
+
+(* --- summaries --- *)
+
+let mod_map_of_graph (graph : Epochgraph.graph) =
+  Array.fold_left
+    (fun acc (n : Epochgraph.node) ->
+      List.fold_left
+        (fun acc (w : Epochgraph.write_rec) -> Sections.Map.add acc w.w_array w.w_section)
+        acc n.writes)
+    Sections.Map.empty graph.nodes
+
+let query_env t =
+  {
+    Epochgraph.summaries =
+      (fun name ->
+        Option.map (fun (pa : proc_analysis) -> pa.summary) (Hashtbl.find_opt t.procs name));
+    entry_allow =
+      (fun name -> match Hashtbl.find_opt t.entry_allow name with Some l -> l | None -> []);
+    static_sched = t.static_sched;
+    intertask = t.intertask;
+  }
+
+(* Exit allowances: for each modified array, the minimum allowance seen by
+   a read immediately after the procedure returns. *)
+let exit_allowances t (graph : Epochgraph.graph) mod_map =
+  let dist = Epochgraph.backward_distances graph graph.exit_ in
+  let env = query_env t in
+  let compute reader =
+    List.filter_map
+      (fun (array, _) ->
+        let section = Sections.whole (dims_of t.program array) in
+        match (Epochgraph.allowance env graph ~dist ~array ~section ~reader).min_allowance with
+        | Some a -> Some (array, a)
+        | None -> None)
+      (Sections.Map.bindings mod_map)
+  in
+  (compute Epochgraph.RSerial, compute (Epochgraph.RPar None))
+
+let analyze_proc t (p : Ast.proc) =
+  let calls_epochs = Callgraph.contains_epochs t.cg in
+  let ir = Segment.of_stmts ~calls_epochs p.body in
+  let min_bound name =
+    match Hashtbl.find_opt t.procs name with
+    | Some pa -> pa.summary.min_boundaries
+    | None -> 0
+  in
+  let graph, anno = Epochgraph.build ~proc_name:p.proc_name ~min_bound ir in
+  ignore (collect_units t Gsa.empty_ctx graph ir anno);
+  let mod_map = mod_map_of_graph graph in
+  let fwd = Epochgraph.forward_distances graph graph.entry in
+  let min_boundaries = min fwd.(graph.exit_) Epochgraph.infinity_dist in
+  let exit_allow_serial, exit_allow_par = exit_allowances t graph mod_map in
+  let summary =
+    { Epochgraph.mod_map; min_boundaries; exit_allow_serial; exit_allow_par }
+  in
+  Hashtbl.replace t.procs p.proc_name { ir; graph; anno; summary }
+
+(* --- top-down entry contexts --- *)
+
+(* For each call site of [callee] (a node in a caller's graph), the
+   allowance of each array at the call's entry boundary, for serial and
+   parallel readers inside the callee; meet (min) across sites. *)
+let propagate_entry_contexts t =
+  let env = query_env t in
+  let all_arrays = List.map (fun (d : Ast.decl) -> d.arr_name) t.program.arrays in
+  let meet current v =
+    match (current, v) with
+    | None, v -> v
+    | v, None -> v
+    | Some a, Some b -> Some (min a b)
+  in
+  (* site-level allowances for epoch-containing callees (dedicated KCall
+     nodes) and for epoch-free callees (calls buried inside segment nodes:
+     we approximate their site by the containing node, entry-side). *)
+  let record callee (alist : (string * (int option * int option)) list) =
+    let old = match Hashtbl.find_opt t.entry_allow callee with Some l -> l | None -> [] in
+    let merged =
+      List.map
+        (fun array ->
+          let find l = match List.assoc_opt array l with Some v -> v | None -> (None, None) in
+          let os, op = find old and ns, np = find alist in
+          (array, (meet os ns, meet op np)))
+        all_arrays
+    in
+    Hashtbl.replace t.entry_allow callee merged
+  in
+  let site_allowances (caller : proc_analysis) node_id ~src_at_entry ~reader =
+    let dist = Epochgraph.backward_distances caller.graph ~src_at_entry node_id in
+    List.map
+      (fun array ->
+        let section = Sections.whole (dims_of t.program array) in
+        (array,
+         (Epochgraph.allowance env caller.graph ~dist ~array ~section ~reader).min_allowance))
+      all_arrays
+  in
+  (* first-visit order: callers before callees so contexts accumulate *)
+  List.iter
+    (fun caller_name ->
+      match Hashtbl.find_opt t.procs caller_name with
+      | None -> ()
+      | Some caller ->
+        (* KCall nodes: epoch-containing callees, always called from serial *)
+        Array.iter
+          (fun (n : Epochgraph.node) ->
+            match n.kind with
+            | Epochgraph.KCall callee ->
+              let s = site_allowances caller n.id ~src_at_entry:true ~reader:Epochgraph.RSerial in
+              let p =
+                site_allowances caller n.id ~src_at_entry:true ~reader:(Epochgraph.RPar None)
+              in
+              record callee
+                (List.map2 (fun (a, sv) (_, pv) -> (a, (sv, pv))) s p)
+            | Epochgraph.KSerial | Epochgraph.KPar -> ())
+          caller.graph.nodes;
+        (* epoch-free callees called from inside segment nodes *)
+        let scan_node (n : Epochgraph.node) stmts ~par =
+          let callees =
+            Ast.fold_stmts
+              (fun acc s -> match s with Ast.Call (c, _) -> c :: acc | _ -> acc)
+              [] stmts
+          in
+          if callees <> [] then begin
+            (* Reads inside an epoch-free callee execute in the site's epoch
+               on the site's task, but look syntactically serial to the
+               callee's own marking, which therefore queries the serial
+               slot: record the site-kind allowance in both slots. *)
+            let reader = if par then Epochgraph.RPar None else Epochgraph.RSerial in
+            let s = site_allowances caller n.id ~src_at_entry:false ~reader in
+            let pairs = List.map (fun (a, v) -> (a, (v, v))) s in
+            List.iter (fun c -> record c pairs) callees
+          end
+        in
+        let rec scan_units units annos =
+          List.iter2
+            (fun (u : Segment.unit_) (a : Epochgraph.aunit) ->
+              match (u, a) with
+              | Segment.USerial stmts, Epochgraph.ANSerial id ->
+                scan_node caller.graph.nodes.(id) stmts ~par:false
+              | Segment.UPar l, Epochgraph.ANPar { par; _ } ->
+                scan_node caller.graph.nodes.(par) l.body ~par:true
+              | Segment.UDo (_, body), Epochgraph.ANDo { body = ab; _ } -> scan_units body ab
+              | Segment.UIf (_, th, el), Epochgraph.ANIf { then_; else_; _ } ->
+                scan_units th then_;
+                scan_units el else_
+              | Segment.UCallE _, Epochgraph.ANCall _ -> ()
+              | _ -> invalid_arg "Analysis: IR/annotation mismatch in context scan")
+            units annos
+        in
+        scan_units caller.ir caller.anno)
+    (Callgraph.top_down t.cg)
+
+(** Run the whole-program analysis. [static_sched] tells the compiler the
+    runtime maps DOALL iterations to processors deterministically (block or
+    cyclic scheduling); [intertask] enables the owner-alignment locality
+    optimization of [21]. *)
+let analyze ?(static_sched = true) ?(intertask = true) (program : Ast.program) =
+  let cg = Callgraph.build program in
+  let t =
+    {
+      program;
+      cg;
+      procs = Hashtbl.create 16;
+      entry_allow = Hashtbl.create 16;
+      static_sched;
+      intertask;
+    }
+  in
+  List.iter
+    (fun name ->
+      match Ast.find_proc program name with
+      | Some p -> analyze_proc t p
+      | None -> ())
+    cg.bottom_up;
+  propagate_entry_contexts t;
+  t
+
+let find_proc_analysis t name = Hashtbl.find_opt t.procs name

@@ -1,0 +1,84 @@
+(** Procedure call graph: callees, bottom-up ordering (for side-effect
+    summaries) and the epoch-containment predicate. Assumes sema has
+    verified the graph is acyclic. *)
+
+module Ast = Hscd_lang.Ast
+
+type t = {
+  program : Ast.program;
+  callees : (string, string list) Hashtbl.t;
+  bottom_up : string list;  (** callees before callers *)
+}
+
+let direct_callees (p : Ast.proc) =
+  Ast.fold_stmts
+    (fun acc s -> match s with Ast.Call (n, _) -> (if List.mem n acc then acc else n :: acc) | _ -> acc)
+    [] p.body
+  |> List.rev
+
+let build (program : Ast.program) =
+  let callees = Hashtbl.create 16 in
+  List.iter (fun p -> Hashtbl.replace callees p.Ast.proc_name (direct_callees p)) program.procs;
+  (* post-order DFS from every proc gives callees-first ordering *)
+  let visited = Hashtbl.create 16 in
+  let order = ref [] in
+  let rec visit name =
+    if not (Hashtbl.mem visited name) then begin
+      Hashtbl.replace visited name ();
+      List.iter visit (try Hashtbl.find callees name with Not_found -> []);
+      if Ast.find_proc program name <> None then order := name :: !order
+    end
+  in
+  List.iter (fun p -> visit p.Ast.proc_name) program.procs;
+  { program; callees; bottom_up = List.rev !order }
+
+let callees_of t name = try Hashtbl.find t.callees name with Not_found -> []
+
+(** callers-before-callees ordering, for the top-down context pass *)
+let top_down t = List.rev t.bottom_up
+
+(** [contains_epochs t] memoizes whether a procedure transitively executes
+    any DOALL. *)
+let contains_epochs t =
+  let memo = Hashtbl.create 16 in
+  let rec go name =
+    match Hashtbl.find_opt memo name with
+    | Some v -> v
+    | None ->
+      Hashtbl.replace memo name false;
+      let v =
+        match Ast.find_proc t.program name with
+        | None -> false
+        | Some p ->
+          Ast.fold_stmts
+            (fun acc s ->
+              acc || match s with Ast.Doall _ -> true | Ast.Call (n, _) -> go n | _ -> false)
+            false p.body
+      in
+      Hashtbl.replace memo name v;
+      v
+  in
+  go
+
+(** Call sites of each procedure: [(caller, inside_parallel)] pairs, where
+    [inside_parallel] is true when the call happens inside a DOALL body. *)
+let call_sites t =
+  let sites = Hashtbl.create 16 in
+  let add callee caller in_par =
+    let old = try Hashtbl.find sites callee with Not_found -> [] in
+    Hashtbl.replace sites callee ((caller, in_par) :: old)
+  in
+  let rec scan caller in_par stmts =
+    List.iter
+      (fun (s : Ast.stmt) ->
+        match s with
+        | Ast.Call (n, _) -> add n caller in_par
+        | Ast.Do l -> scan caller in_par l.body
+        | Ast.Doall l -> scan caller true l.body
+        | Ast.If (_, a, b) -> scan caller in_par a; scan caller in_par b
+        | Ast.Critical body -> scan caller in_par body
+        | Ast.Assign _ | Ast.Store _ | Ast.Work _ -> ())
+      stmts
+  in
+  List.iter (fun p -> scan p.Ast.proc_name false p.Ast.body) t.program.procs;
+  fun name -> (try Hashtbl.find sites name with Not_found -> [])

@@ -1,0 +1,24 @@
+(** Procedure call graph: bottom-up ordering for side-effect summaries and
+    the epoch-containment predicate. Assumes sema verified acyclicity. *)
+
+type t = {
+  program : Hscd_lang.Ast.program;
+  callees : (string, string list) Hashtbl.t;
+  bottom_up : string list;  (** callees before callers *)
+}
+
+(** Direct callees of a procedure, in first-occurrence order. *)
+val direct_callees : Hscd_lang.Ast.proc -> string list
+
+val build : Hscd_lang.Ast.program -> t
+
+val callees_of : t -> string -> string list
+
+(** Callers-before-callees ordering, for the top-down context pass. *)
+val top_down : t -> string list
+
+(** Memoized: does the procedure transitively execute any DOALL? *)
+val contains_epochs : t -> string -> bool
+
+(** Call sites of each procedure: [(caller, inside_parallel)] pairs. *)
+val call_sites : t -> string -> (string * bool) list

@@ -1,0 +1,282 @@
+(** The epoch flow graph and the array data-flow analysis over it.
+
+    Nodes are epochs (serial segments, DOALLs, calls to epoch-containing
+    procedures); edge weights count the epoch boundaries crossed between
+    two nodes (1 when entering or leaving a parallel epoch, 0 between
+    serial segments of the same dynamic epoch). The reference-marking rule
+    is: for a read of section S, find the minimum over all backward paths
+    of the distance to the first epoch that may write S; that distance
+    (adjusted by one when the writer may run on a different processor)
+    bounds the Time-Read window.
+
+    The module also computes the interprocedural summaries (MOD sections,
+    minimum internal boundary count, exit-side write allowances) used when
+    a backward path crosses a procedure call, and the entry-side context
+    propagated top-down to callees. *)
+
+module Ast = Hscd_lang.Ast
+
+let infinity_dist = max_int / 4
+
+(* --- writers and readers --- *)
+
+type writer_kind =
+  | WSerial  (** written by the serial thread (processor 0) *)
+  | WPar of Gsa.anchor option  (** written by a DOALL task, possibly anchored *)
+  | WCall of string  (** written somewhere inside this callee *)
+
+type write_rec = { w_array : string; w_section : Sections.t; w_kind : writer_kind }
+
+type reader = RSerial | RPar of Gsa.anchor option
+
+(* --- graph --- *)
+
+type kind = KSerial | KPar | KCall of string
+
+type node = {
+  id : int;
+  kind : kind;
+  transit : int;  (** boundaries crossed when a path passes through (calls) *)
+  mutable writes : write_rec list;
+  mutable preds : (int * int) list;
+  mutable succs : (int * int) list;
+}
+
+type graph = { nodes : node array; entry : int; exit_ : int; proc : string }
+
+(** Annotation tree mirroring {!Segment.t}, giving each unit its node ids.
+    [pre] nodes host the reads performed by loop bounds and branch
+    conditions (those evaluate in the preceding serial epoch). *)
+type aunit =
+  | ANSerial of int
+  | ANPar of { pre : int; par : int }
+  | ANDo of { pre : int; post : int; body : aunit list }
+  | ANIf of { pre : int; join : int; then_ : aunit list; else_ : aunit list }
+  | ANCall of int
+
+(* --- interprocedural summaries --- *)
+
+type summary = {
+  mod_map : Sections.Map.t;
+  min_boundaries : int;
+  exit_allow_serial : (string * int) list;
+      (** per array: min allowance for a serial read right after a call *)
+  exit_allow_par : (string * int) list;
+}
+
+(* --- graph construction --- *)
+
+type builder = { mutable rev_nodes : node list; mutable count : int; min_bound : string -> int }
+
+let new_node b kind =
+  let transit = match kind with KCall callee -> b.min_bound callee | KSerial | KPar -> 0 in
+  let n = { id = b.count; kind; transit; writes = []; preds = []; succs = [] } in
+  b.rev_nodes <- n :: b.rev_nodes;
+  b.count <- b.count + 1;
+  n
+
+let is_par_kind = function KPar -> true | KSerial | KCall _ -> false
+
+let connect b u v =
+  let nodes = b.rev_nodes in
+  let get id = List.find (fun n -> n.id = id) nodes in
+  let nu = get u and nv = get v in
+  let w = (if is_par_kind nu.kind then 1 else 0) + (if is_par_kind nv.kind then 1 else 0) in
+  if not (List.mem (v, w) nu.succs) then begin
+    nu.succs <- (v, w) :: nu.succs;
+    nv.preds <- (u, w) :: nv.preds
+  end
+
+(* Build the graph for one unit; returns (entry_id, exit_id, annotation). *)
+let rec build_unit b (u : Segment.unit_) =
+  match u with
+  | Segment.USerial _ ->
+    let n = new_node b KSerial in
+    (n.id, n.id, ANSerial n.id)
+  | Segment.UPar _ ->
+    let pre = new_node b KSerial in
+    let par = new_node b KPar in
+    connect b pre.id par.id;
+    (pre.id, par.id, ANPar { pre = pre.id; par = par.id })
+  | Segment.UDo (_, body) ->
+    let pre = new_node b KSerial in
+    let post = new_node b KSerial in
+    let entry_b, exit_b, anno = build_seq b body in
+    (match (entry_b, exit_b) with
+    | Some e, Some x ->
+      connect b pre.id e;
+      connect b x post.id;
+      connect b x e (* back edge: next iteration *)
+    | _ -> ());
+    (* the loop may execute zero times *)
+    connect b pre.id post.id;
+    (pre.id, post.id, ANDo { pre = pre.id; post = post.id; body = anno })
+  | Segment.UIf (_, t, e) ->
+    let pre = new_node b KSerial in
+    let join = new_node b KSerial in
+    let branch units =
+      match build_seq b units with
+      | Some en, Some ex, anno ->
+        connect b pre.id en;
+        connect b ex join.id;
+        anno
+      | _ ->
+        connect b pre.id join.id;
+        []
+    in
+    let t_anno = branch t in
+    let e_anno = branch e in
+    (pre.id, join.id, ANIf { pre = pre.id; join = join.id; then_ = t_anno; else_ = e_anno })
+  | Segment.UCallE (name, _) ->
+    let n = new_node b (KCall name) in
+    (n.id, n.id, ANCall n.id)
+
+and build_seq b (units : Segment.t) =
+  List.fold_left
+    (fun (entry, prev_exit, annos) u ->
+      let en, ex, anno = build_unit b u in
+      (match prev_exit with Some p -> connect b p en | None -> ());
+      let entry = match entry with None -> Some en | some -> some in
+      (entry, Some ex, annos @ [ anno ]))
+    (None, None, []) units
+
+let build ~proc_name ~min_bound (ir : Segment.t) =
+  let b = { rev_nodes = []; count = 0; min_bound } in
+  let entry = new_node b KSerial in
+  let exit_ = new_node b KSerial in
+  let en, ex, anno = build_seq b ir in
+  (match (en, ex) with
+  | Some e, Some x ->
+    connect b entry.id e;
+    connect b x exit_.id
+  | _ -> connect b entry.id exit_.id);
+  let nodes = Array.make b.count entry in
+  List.iter (fun n -> nodes.(n.id) <- n) b.rev_nodes;
+  ({ nodes; entry = entry.id; exit_ = exit_.id; proc = proc_name }, anno)
+
+(* --- distances --- *)
+
+(** Backward distances (epoch boundaries) from a source node to every other
+    node's exit boundary. [src_at_entry] starts the walk at the source's
+    entry boundary instead (used for call-entry contexts). *)
+let backward_distances g ?(src_at_entry = false) src =
+  let n = Array.length g.nodes in
+  let dist = Array.make n infinity_dist in
+  dist.(src) <- 0;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun u ->
+        if dist.(u.id) < infinity_dist then begin
+          let transit = if u.id = src && src_at_entry then 0 else u.transit in
+          List.iter
+            (fun (p, w) ->
+              let cand = dist.(u.id) + transit + w in
+              if cand < dist.(p) then begin
+                dist.(p) <- cand;
+                changed := true
+              end)
+            u.preds
+        end)
+      g.nodes
+  done;
+  dist
+
+(** Forward shortest boundary count from [src]; used for [min_boundaries]. *)
+let forward_distances g src =
+  let n = Array.length g.nodes in
+  let dist = Array.make n infinity_dist in
+  dist.(src) <- 0;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun u ->
+        if dist.(u.id) < infinity_dist then
+          List.iter
+            (fun (v, w) ->
+              let cand = dist.(u.id) + w + g.nodes.(v).transit in
+              if cand < dist.(v) then begin
+                dist.(v) <- cand;
+                changed := true
+              end)
+            u.succs)
+      g.nodes
+  done;
+  dist
+
+(* --- allowance queries --- *)
+
+(** May a writer run on the same processor as the reader, provably? *)
+let aligned ~static_sched ~intertask (wk : writer_kind) (r : reader) =
+  match (wk, r) with
+  | WSerial, RSerial -> true
+  | WPar (Some aw), RPar (Some ar) -> static_sched && intertask && Gsa.anchors_equal aw ar
+  | _ -> false
+
+type query_env = {
+  summaries : string -> summary option;
+  entry_allow : string -> (string * (int option * int option)) list;
+      (** per proc: array -> (serial-reader, par-reader) entry allowances *)
+  static_sched : bool;
+  intertask : bool;
+}
+
+let exit_allow_of env callee ~reader_is_par array =
+  match env.summaries callee with
+  | None -> None
+  | Some s ->
+    List.assoc_opt array (if reader_is_par then s.exit_allow_par else s.exit_allow_serial)
+
+type verdict = {
+  min_allowance : int option;
+      (** [None]: no possible prior writer, the read can never be stale.
+          [Some d]: the compiler may emit Time-Read(d); negative forces a
+          bypass. *)
+  all_aligned : bool;
+      (** every possible writer provably runs on the reader's processor; the
+          reader's own cache then can never hold stale data and the read can
+          be a Normal-Read regardless of distance *)
+}
+
+(** Minimum allowance for a read of [section] of [array] performed in the
+    node whose backward [dist]ances are given, with reader kind [reader]. *)
+let allowance env g ~dist ~array ~section ~reader =
+  let reader_is_par = match reader with RPar _ -> true | RSerial -> false in
+  let best = ref None in
+  let all_aligned = ref true in
+  let consider ~is_aligned v =
+    if not is_aligned then all_aligned := false;
+    match !best with Some b when b <= v -> () | _ -> best := Some v
+  in
+  Array.iter
+    (fun node ->
+      let d = dist.(node.id) in
+      if d < infinity_dist then
+        List.iter
+          (fun w ->
+            if w.w_array = array && Sections.inter_nonempty w.w_section section then
+              match w.w_kind with
+              | WCall callee -> (
+                match exit_allow_of env callee ~reader_is_par array with
+                | Some a -> consider ~is_aligned:false (d + a)
+                | None -> ())
+              | k ->
+                let is_aligned =
+                  aligned ~static_sched:env.static_sched ~intertask:env.intertask k reader
+                in
+                consider ~is_aligned (d + if is_aligned then 0 else -1))
+          node.writes)
+    g.nodes;
+  (* context before this procedure's entry *)
+  let d_entry = dist.(g.entry) in
+  if d_entry < infinity_dist then
+    List.iter
+      (fun (a, (s_allow, p_allow)) ->
+        if a = array then
+          match (if reader_is_par then p_allow else s_allow) with
+          | Some a -> consider ~is_aligned:false (d_entry + a)
+          | None -> ())
+      (env.entry_allow g.proc);
+  { min_allowance = !best; all_aligned = !all_aligned }

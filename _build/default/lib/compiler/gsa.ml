@@ -1,0 +1,176 @@
+(** Scalar symbolic analysis in the style of demand-driven GSA evaluation.
+
+    Polaris analyzes subscripts on the gated-single-assignment form [4]; we
+    obtain the same information by walking each procedure with a symbolic
+    environment mapping scalars to {!Affine} forms:
+
+    - assignments bind the scalar to the affine value of the right side;
+    - [If] merges the branch environments with a gamma: equal forms are
+      kept, differing forms become [Unknown];
+    - serial loop bodies widen every scalar assigned in them (mu);
+    - loop indices are opaque symbols carrying their bound ranges;
+    - procedure parameters are opaque symbols (context-insensitive here;
+      the interprocedural layer accounts for the imprecision).
+
+    On top of the environment this module turns subscript vectors into
+    {!Sections} (with stride information preserved even when ranges are
+    unknown) and extracts the "anchor" of a reference — the dimension bound
+    one-to-one to the surrounding DOALL index — which powers the intertask
+    locality (owner-alignment) optimization of the marking pass. *)
+
+module Ast = Hscd_lang.Ast
+
+type loopinfo = {
+  index : string;
+  lo : Affine.t;
+  hi : Affine.t;
+  parallel : bool;
+}
+
+type ctx = {
+  env : (string * Affine.t) list;
+  loops : loopinfo list;  (** innermost first *)
+}
+
+let empty_ctx = { env = []; loops = [] }
+
+let find_loop ctx v = List.find_opt (fun l -> l.index = v) ctx.loops
+
+let lookup ctx v =
+  if find_loop ctx v <> None then Affine.var v
+  else match List.assoc_opt v ctx.env with
+    | Some a -> a
+    | None -> Affine.var v (* procedure parameter or not-yet-assigned: opaque symbol *)
+
+let bind ctx v a = { ctx with env = (v, a) :: List.remove_assoc v ctx.env }
+
+let push_loop ctx li = { ctx with loops = li :: ctx.loops }
+
+(** Gamma merge after a branch: keep bindings provably equal on both sides. *)
+let gamma before a b =
+  let keys = List.sort_uniq compare (List.map fst a.env @ List.map fst b.env) in
+  let env =
+    List.filter_map
+      (fun v ->
+        let va = lookup a v and vb = lookup b v in
+        if Affine.equal va vb then Some (v, va) else Some (v, Affine.unknown))
+      keys
+  in
+  { before with env }
+
+(** Scalars assigned anywhere in a statement list (for mu widening). *)
+let assigned_scalars stmts =
+  Ast.fold_stmts
+    (fun acc s ->
+      match s with
+      | Ast.Assign (v, _) -> if List.mem v acc then acc else v :: acc
+      | Ast.Do l | Ast.Doall l -> if List.mem l.index acc then acc else l.index :: acc
+      | _ -> acc)
+    [] stmts
+
+(** Mu widening: invalidate every scalar the loop body may redefine. *)
+let widen_for_loop ctx body =
+  List.fold_left (fun c v -> bind c v Affine.unknown) ctx (assigned_scalars body)
+
+let rec expr_to_affine ctx (e : Ast.expr) =
+  match e with
+  | Int n -> Affine.const n
+  | Var v -> lookup ctx v
+  | Neg e -> Affine.neg (expr_to_affine ctx e)
+  | Binop (Add, a, b) -> Affine.add (expr_to_affine ctx a) (expr_to_affine ctx b)
+  | Binop (Sub, a, b) -> Affine.sub (expr_to_affine ctx a) (expr_to_affine ctx b)
+  | Binop (Mul, a, b) -> Affine.mul (expr_to_affine ctx a) (expr_to_affine ctx b)
+  | Binop ((Div | Mod | Min | Max), _, _) -> Affine.unknown
+  | Aref _ -> Affine.unknown
+  | Blackbox _ -> Affine.unknown
+
+(** Ranges of the in-scope loop indices whose bounds are compile-time
+    constants, for widening affine forms to intervals. *)
+let const_ranges ctx =
+  List.filter_map
+    (fun l ->
+      match (Affine.is_const l.lo, Affine.is_const l.hi) with
+      | Some lo, Some hi when lo <= hi -> Some (l.index, (lo, hi))
+      | _ -> None)
+    ctx.loops
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+(** Widen one affine subscript over a dimension of extent [dim]. Keeps the
+    stride/congruence information even when some variables are unranged:
+    with form [c + Σ ci·xi], every value is ≡ c (mod gcd ci). Returns None
+    when the subscript range is provably outside the dimension. *)
+let widen_subscript ctx ~dim aff =
+  let whole = Sections.Sint.interval 0 (dim - 1) in
+  match aff with
+  | Affine.Unknown -> Some whole
+  | Affine.Affine { terms; const } ->
+    let g = List.fold_left (fun acc (_, c) -> gcd acc c) 0 terms in
+    let clip lo hi =
+      let lo = max lo 0 and hi = min hi (dim - 1) in
+      if lo > hi then None
+      else if g = 0 then Some (Sections.Sint.interval lo hi)
+      else begin
+        (* snap the bounds onto the congruence class const mod g *)
+        let m = ((const mod g) + g) mod g in
+        let lo' = lo + (((m - lo) mod g + g) mod g) in
+        let hi' = hi - (((hi - m) mod g + g) mod g) in
+        if lo' > hi' then None else Some (Sections.Sint.make ~lo:lo' ~hi:hi' ~step:g)
+      end
+    in
+    (match Affine.range (const_ranges ctx) aff with
+    | Some (lo, hi) -> clip lo hi
+    | None -> clip min_int max_int |> Option.map (fun s -> s) |> fun o ->
+      (match o with Some s -> Some s | None -> Some whole))
+
+(** Section touched by a subscript vector; None when provably empty. *)
+let section_of_subscripts ctx ~dims subscripts =
+  let rec go dims subs acc =
+    match (dims, subs) with
+    | [], [] -> Some (List.rev acc)
+    | d :: dims', e :: subs' -> (
+      match widen_subscript ctx ~dim:d (expr_to_affine ctx e) with
+      | None -> None
+      | Some s -> go dims' subs' (s :: acc))
+    | _ -> invalid_arg "section_of_subscripts: rank mismatch"
+  in
+  go dims subscripts []
+
+(** The innermost enclosing parallel loop, if any. *)
+let enclosing_doall ctx = List.find_opt (fun l -> l.parallel) ctx.loops
+
+(** Anchor of a reference: dimension [dim] whose subscript is exactly
+    [coef*i + off] for the enclosing DOALL index [i], with [off] free of
+    other loop indices. Such a subscript binds array coordinates one-to-one
+    to tasks, enabling same-processor reasoning across aligned DOALLs. *)
+type anchor = {
+  anchor_dim : int;
+  coef : int;
+  off : Affine.t;
+  space_lo : Affine.t;
+  space_hi : Affine.t;
+}
+
+let anchor_of_reference ctx subscripts =
+  match enclosing_doall ctx with
+  | None -> None
+  | Some dl ->
+    let loop_indices = List.map (fun l -> l.index) ctx.loops in
+    let rec scan k = function
+      | [] -> None
+      | e :: rest ->
+        let aff = expr_to_affine ctx e in
+        let c = Affine.coef_of dl.index aff in
+        if c <> 0 then begin
+          let off = Affine.subst dl.index (Affine.const 0) aff in
+          (* the offset must not vary with any other in-scope loop index *)
+          if List.exists (fun v -> List.mem v loop_indices) (Affine.vars off) then scan (k + 1) rest
+          else Some { anchor_dim = k; coef = c; off; space_lo = dl.lo; space_hi = dl.hi }
+        end
+        else scan (k + 1) rest
+    in
+    scan 0 subscripts
+
+let anchors_equal a b =
+  a.anchor_dim = b.anchor_dim && a.coef = b.coef && Affine.equal a.off b.off
+  && Affine.equal a.space_lo b.space_lo && Affine.equal a.space_hi b.space_hi

@@ -1,0 +1,66 @@
+(** Scalar symbolic analysis in the style of demand-driven GSA evaluation:
+    a symbolic environment over {!Affine} forms with gamma merges (if) and
+    mu widening (loops), subscript-to-section widening, and reference
+    anchors for the owner-alignment optimization. *)
+
+type loopinfo = {
+  index : string;
+  lo : Affine.t;
+  hi : Affine.t;
+  parallel : bool;
+}
+
+type ctx = {
+  env : (string * Affine.t) list;
+  loops : loopinfo list;  (** innermost first *)
+}
+
+val empty_ctx : ctx
+
+val find_loop : ctx -> string -> loopinfo option
+
+(** Value of a scalar: loop indices and unbound names are opaque symbols. *)
+val lookup : ctx -> string -> Affine.t
+
+val bind : ctx -> string -> Affine.t -> ctx
+val push_loop : ctx -> loopinfo -> ctx
+
+(** Gamma merge after a branch: keep bindings provably equal on both sides. *)
+val gamma : ctx -> ctx -> ctx -> ctx
+
+(** Scalars assigned anywhere in a statement list (loop indices included). *)
+val assigned_scalars : Hscd_lang.Ast.stmt list -> string list
+
+(** Mu widening: invalidate every scalar the loop body may redefine. *)
+val widen_for_loop : ctx -> Hscd_lang.Ast.stmt list -> ctx
+
+val expr_to_affine : ctx -> Hscd_lang.Ast.expr -> Affine.t
+
+(** Ranges of in-scope loop indices with constant bounds. *)
+val const_ranges : ctx -> (string * (int * int)) list
+
+(** Widen one affine subscript over a dimension, keeping stride/congruence
+    information; [None] when provably out of the dimension. *)
+val widen_subscript : ctx -> dim:int -> Affine.t -> Sections.Sint.t option
+
+(** Section touched by a subscript vector; [None] when provably empty. *)
+val section_of_subscripts :
+  ctx -> dims:int list -> Hscd_lang.Ast.expr list -> Sections.t option
+
+(** The innermost enclosing parallel loop, if any. *)
+val enclosing_doall : ctx -> loopinfo option
+
+(** Anchor of a reference: the dimension bound one-to-one to the enclosing
+    DOALL index (subscript exactly [coef·i + off] with [off] free of other
+    loop indices). *)
+type anchor = {
+  anchor_dim : int;
+  coef : int;
+  off : Affine.t;
+  space_lo : Affine.t;
+  space_hi : Affine.t;
+}
+
+val anchor_of_reference : ctx -> Hscd_lang.Ast.expr list -> anchor option
+
+val anchors_equal : anchor -> anchor -> bool

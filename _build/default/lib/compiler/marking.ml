@@ -1,0 +1,249 @@
+(** Reference marking: the compiler pass that turns an analyzed program
+    into coherence-annotated code.
+
+    Every array read becomes [Normal_read] (provably never stale — no
+    reachable prior writer, or all writers provably on the reader's own
+    processor), [Time_read d] (valid while the cached word's timetag is
+    within [d] epochs), or [Bypass_read] (a possibly-conflicting writer in
+    the same epoch, or a critical section). Writes stay [Normal_write]
+    except in critical sections, which bypass the cache.
+
+    This mirrors the paper's code generation: the marked AST is the
+    "executable" the simulator runs, with Time-Read operations standing in
+    for the cache-control instructions of [23, 7]. *)
+
+module Ast = Hscd_lang.Ast
+
+type census = {
+  mutable normal_reads : int;
+  mutable time_reads : int;
+  mutable bypass_reads : int;
+  mutable normal_writes : int;
+  mutable bypass_writes : int;
+  mutable distance_hist : (int * int) list;  (** (d, static count) sorted *)
+}
+
+let empty_census () =
+  {
+    normal_reads = 0;
+    time_reads = 0;
+    bypass_reads = 0;
+    normal_writes = 0;
+    bypass_writes = 0;
+    distance_hist = [];
+  }
+
+let bump_hist census d =
+  let n = try List.assoc d census.distance_hist with Not_found -> 0 in
+  census.distance_hist <-
+    List.sort compare ((d, n + 1) :: List.remove_assoc d census.distance_hist)
+
+type result = { program : Ast.program; analysis : Analysis.t; census : census }
+
+type state = {
+  t : Analysis.t;
+  census : census;
+  mutable pa : Analysis.proc_analysis;  (** procedure being marked *)
+  dist_cache : (int * bool, int array) Hashtbl.t;  (** (node, at_entry) -> distances *)
+}
+
+let distances st ~node ~at_entry =
+  match Hashtbl.find_opt st.dist_cache (node, at_entry) with
+  | Some d -> d
+  | None ->
+    let d = Epochgraph.backward_distances st.pa.graph ~src_at_entry:at_entry node in
+    Hashtbl.replace st.dist_cache (node, at_entry) d;
+    d
+
+let mark_of_read st ctx ~node ~at_entry array idx =
+  let dims = Analysis.dims_of st.t.program array in
+  match Gsa.section_of_subscripts ctx ~dims idx with
+  | None -> Ast.Bypass_read (* provably out of bounds: never executes legally *)
+  | Some section ->
+    let reader =
+      match Gsa.enclosing_doall ctx with
+      | Some _ -> Epochgraph.RPar (Gsa.anchor_of_reference ctx idx)
+      | None -> Epochgraph.RSerial
+    in
+    let env = Analysis.query_env st.t in
+    let dist = distances st ~node ~at_entry in
+    let v = Epochgraph.allowance env st.pa.graph ~dist ~array ~section ~reader in
+    (match v.min_allowance with
+    | None -> Ast.Normal_read
+    | Some _ when v.all_aligned -> Ast.Normal_read
+    | Some d when d < 0 -> Ast.Bypass_read
+    | Some d -> Ast.Time_read d)
+
+let count_read st (m : Ast.rmark) =
+  match m with
+  | Ast.Normal_read -> st.census.normal_reads <- st.census.normal_reads + 1
+  | Ast.Time_read d ->
+    st.census.time_reads <- st.census.time_reads + 1;
+    bump_hist st.census d
+  | Ast.Bypass_read -> st.census.bypass_reads <- st.census.bypass_reads + 1
+  | Ast.Unmarked -> ()
+
+(* --- expression rewriting --- *)
+
+let rec mark_expr st ctx ~node ~at_entry ~critical (e : Ast.expr) =
+  match e with
+  | Ast.Int _ | Ast.Var _ -> e
+  | Ast.Neg e -> Ast.Neg (mark_expr st ctx ~node ~at_entry ~critical e)
+  | Ast.Binop (op, a, b) ->
+    Ast.Binop
+      (op, mark_expr st ctx ~node ~at_entry ~critical a,
+       mark_expr st ctx ~node ~at_entry ~critical b)
+  | Ast.Blackbox (name, args) ->
+    Ast.Blackbox (name, List.map (mark_expr st ctx ~node ~at_entry ~critical) args)
+  | Ast.Aref (a, idx, _) ->
+    let idx' = List.map (mark_expr st ctx ~node ~at_entry ~critical) idx in
+    let mark =
+      if critical then Ast.Bypass_read else mark_of_read st ctx ~node ~at_entry a idx
+    in
+    count_read st mark;
+    Ast.Aref (a, idx', mark)
+
+let rec mark_cond st ctx ~node ~at_entry ~critical (c : Ast.cond) =
+  match c with
+  | Ast.Cmp (op, a, b) ->
+    Ast.Cmp
+      (op, mark_expr st ctx ~node ~at_entry ~critical a,
+       mark_expr st ctx ~node ~at_entry ~critical b)
+  | Ast.And (a, b) ->
+    Ast.And (mark_cond st ctx ~node ~at_entry ~critical a, mark_cond st ctx ~node ~at_entry ~critical b)
+  | Ast.Or (a, b) ->
+    Ast.Or (mark_cond st ctx ~node ~at_entry ~critical a, mark_cond st ctx ~node ~at_entry ~critical b)
+  | Ast.Not c -> Ast.Not (mark_cond st ctx ~node ~at_entry ~critical c)
+
+(* --- statement rewriting (epoch-free statement lists) --- *)
+
+let rec mark_stmts st ctx ~node ~critical stmts =
+  let ctx, rev =
+    List.fold_left
+      (fun (ctx, acc) s ->
+        let ctx, s' = mark_stmt st ctx ~node ~critical s in
+        (ctx, s' :: acc))
+      (ctx, []) stmts
+  in
+  (ctx, List.rev rev)
+
+and mark_stmt st ctx ~node ~critical (s : Ast.stmt) =
+  let mexpr = mark_expr st ctx ~node ~at_entry:false ~critical in
+  match s with
+  | Ast.Assign (v, e) ->
+    let e' = mexpr e in
+    (Gsa.bind ctx v (Gsa.expr_to_affine ctx e), Ast.Assign (v, e'))
+  | Ast.Store (a, idx, e, _) ->
+    let idx' = List.map mexpr idx in
+    let e' = mexpr e in
+    let wmark = if critical then Ast.Bypass_write else Ast.Normal_write in
+    (match wmark with
+    | Ast.Bypass_write -> st.census.bypass_writes <- st.census.bypass_writes + 1
+    | Ast.Normal_write -> st.census.normal_writes <- st.census.normal_writes + 1);
+    (ctx, Ast.Store (a, idx', e', wmark))
+  | Ast.Work e -> (ctx, Ast.Work (mexpr e))
+  | Ast.Call (name, args) -> (ctx, Ast.Call (name, List.map mexpr args))
+  | Ast.Critical body ->
+    let _, body' = mark_stmts st ctx ~node ~critical:true body in
+    (ctx, Ast.Critical body')
+  | Ast.If (c, t, e) ->
+    let c' = mark_cond st ctx ~node ~at_entry:false ~critical c in
+    let ct, t' = mark_stmts st ctx ~node ~critical t in
+    let ce, e' = mark_stmts st ctx ~node ~critical e in
+    (Gsa.gamma ctx ct ce, Ast.If (c', t', e'))
+  | Ast.Do l ->
+    let lo' = mexpr l.lo and hi' = mexpr l.hi in
+    let inner =
+      Gsa.push_loop (Gsa.widen_for_loop ctx l.body)
+        {
+          Gsa.index = l.index;
+          lo = Gsa.expr_to_affine ctx l.lo;
+          hi = Gsa.expr_to_affine ctx l.hi;
+          parallel = false;
+        }
+    in
+    let _, body' = mark_stmts st inner ~node ~critical l.body in
+    (Gsa.widen_for_loop ctx l.body, Ast.Do { l with lo = lo'; hi = hi'; body = body' })
+  | Ast.Doall _ -> invalid_arg "Marking: doall inside an epoch-free segment"
+
+(* --- unit rewriting --- *)
+
+let rec mark_units st ctx units annos =
+  let ctx, rev =
+    List.fold_left2
+      (fun (ctx, acc) u a ->
+        let ctx, u' = mark_unit st ctx u a in
+        (ctx, u' :: acc))
+      (ctx, []) units annos
+  in
+  (ctx, List.rev rev)
+
+and mark_unit st ctx (u : Segment.unit_) (a : Epochgraph.aunit) =
+  match (u, a) with
+  | Segment.USerial stmts, Epochgraph.ANSerial id ->
+    let ctx, stmts' = mark_stmts st ctx ~node:id ~critical:false stmts in
+    (ctx, Segment.USerial stmts')
+  | Segment.UPar l, Epochgraph.ANPar { pre; par } ->
+    (* bounds evaluate in the preceding serial epoch *)
+    let lo' = mark_expr st ctx ~node:pre ~at_entry:false ~critical:false l.lo in
+    let hi' = mark_expr st ctx ~node:pre ~at_entry:false ~critical:false l.hi in
+    let inner =
+      Gsa.push_loop (Gsa.widen_for_loop ctx l.body)
+        {
+          Gsa.index = l.index;
+          lo = Gsa.expr_to_affine ctx l.lo;
+          hi = Gsa.expr_to_affine ctx l.hi;
+          parallel = true;
+        }
+    in
+    let _, body' = mark_stmts st inner ~node:par ~critical:false l.body in
+    (Gsa.widen_for_loop ctx l.body, Segment.UPar { l with lo = lo'; hi = hi'; body = body' })
+  | Segment.UDo (h, body), Epochgraph.ANDo { pre; body = anno_body; _ } ->
+    let lo' = mark_expr st ctx ~node:pre ~at_entry:false ~critical:false h.lo in
+    let hi' = mark_expr st ctx ~node:pre ~at_entry:false ~critical:false h.hi in
+    let body_stmts = Segment.to_stmts body in
+    let inner =
+      Gsa.push_loop
+        (List.fold_left (fun c v -> Gsa.bind c v Affine.unknown) ctx
+           (Gsa.assigned_scalars body_stmts))
+        {
+          Gsa.index = h.index;
+          lo = Gsa.expr_to_affine ctx h.lo;
+          hi = Gsa.expr_to_affine ctx h.hi;
+          parallel = false;
+        }
+    in
+    let _, body' = mark_units st inner body anno_body in
+    let ctx' =
+      List.fold_left (fun c v -> Gsa.bind c v Affine.unknown) ctx
+        (Gsa.assigned_scalars body_stmts)
+    in
+    (ctx', Segment.UDo ({ h with lo = lo'; hi = hi' }, body'))
+  | Segment.UIf (c, th, el), Epochgraph.ANIf { pre; then_; else_; _ } ->
+    let c' = mark_cond st ctx ~node:pre ~at_entry:false ~critical:false c in
+    let ct, th' = mark_units st ctx th then_ in
+    let ce, el' = mark_units st ctx el else_ in
+    (Gsa.gamma ctx ct ce, Segment.UIf (c', th', el'))
+  | Segment.UCallE (name, args), Epochgraph.ANCall id ->
+    let args' = List.map (mark_expr st ctx ~node:id ~at_entry:true ~critical:false) args in
+    (ctx, Segment.UCallE (name, args'))
+  | _ -> invalid_arg "Marking: IR/annotation shape mismatch"
+
+(* --- entry point --- *)
+
+(** Analyze and mark a whole (sema-checked) program. *)
+let mark_program ?(static_sched = true) ?(intertask = true) (program : Ast.program) =
+  let t = Analysis.analyze ~static_sched ~intertask program in
+  let census = empty_census () in
+  let procs =
+    List.map
+      (fun (p : Ast.proc) ->
+        match Analysis.find_proc_analysis t p.proc_name with
+        | None -> p
+        | Some pa ->
+          let st = { t; census; pa; dist_cache = Hashtbl.create 32 } in
+          let _, ir' = mark_units st Gsa.empty_ctx pa.ir pa.anno in
+          { p with body = Segment.to_stmts ir' })
+      program.procs
+  in
+  { program = { program with procs }; analysis = t; census }

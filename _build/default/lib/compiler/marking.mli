@@ -1,0 +1,25 @@
+(** Reference marking: rewrites an analyzed program with the coherence
+    operations the generated code would use — [Normal_read],
+    [Time_read d], [Bypass_read] on reads and [Bypass_write] in critical
+    sections. See the implementation header for the marking rule. *)
+
+type census = {
+  mutable normal_reads : int;
+  mutable time_reads : int;
+  mutable bypass_reads : int;
+  mutable normal_writes : int;
+  mutable bypass_writes : int;
+  mutable distance_hist : (int * int) list;  (** (d, static count), sorted *)
+}
+
+type result = {
+  program : Hscd_lang.Ast.program;  (** the marked program *)
+  analysis : Analysis.t;
+  census : census;
+}
+
+(** Analyze and mark a whole (sema-checked) program. [static_sched] must
+    reflect whether the runtime maps DOALL iterations to processors
+    deterministically; [intertask] enables the owner-alignment locality
+    optimization of [21]. *)
+val mark_program : ?static_sched:bool -> ?intertask:bool -> Hscd_lang.Ast.program -> result

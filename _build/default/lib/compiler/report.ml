@@ -1,0 +1,90 @@
+(** Human-readable output of marking decisions: annotated source listing
+    and the static census used by the marking-statistics experiment. *)
+
+module Ast = Hscd_lang.Ast
+module Printer = Hscd_lang.Printer
+
+let mark_suffix = function
+  | Ast.Unmarked -> ""
+  | Ast.Normal_read -> "{N}"
+  | Ast.Time_read d -> Printf.sprintf "{T%d}" d
+  | Ast.Bypass_read -> "{B}"
+
+let wmark_suffix = function Ast.Normal_write -> "" | Ast.Bypass_write -> "{B}"
+
+(* Annotated expression printing: like Printer but with mark suffixes. *)
+let rec expr_str (e : Ast.expr) =
+  match e with
+  | Ast.Int n -> string_of_int n
+  | Ast.Var v -> v
+  | Ast.Neg e -> "-" ^ expr_str e
+  | Ast.Binop ((Min | Max) as op, a, b) ->
+    Printf.sprintf "%s(%s, %s)" (Printer.binop_str op) (expr_str a) (expr_str b)
+  | Ast.Binop (op, a, b) -> Printf.sprintf "(%s %s %s)" (expr_str a) (Printer.binop_str op) (expr_str b)
+  | Ast.Blackbox (name, args) ->
+    Printf.sprintf "blackbox(%s%s)" name (String.concat "" (List.map (fun a -> ", " ^ expr_str a) args))
+  | Ast.Aref (a, idx, m) ->
+    Printf.sprintf "%s[%s]%s" a (String.concat ", " (List.map expr_str idx)) (mark_suffix m)
+
+let rec cond_str (c : Ast.cond) =
+  match c with
+  | Ast.Cmp (op, a, b) -> Printf.sprintf "%s %s %s" (expr_str a) (Printer.cmpop_str op) (expr_str b)
+  | Ast.And (a, b) -> Printf.sprintf "(%s and %s)" (cond_str a) (cond_str b)
+  | Ast.Or (a, b) -> Printf.sprintf "(%s or %s)" (cond_str a) (cond_str b)
+  | Ast.Not c -> "not " ^ cond_str c
+
+let rec stmt_lines indent (s : Ast.stmt) =
+  let pad = String.make (indent * 2) ' ' in
+  match s with
+  | Ast.Assign (v, e) -> [ Printf.sprintf "%s%s = %s" pad v (expr_str e) ]
+  | Ast.Store (a, idx, e, m) ->
+    [ Printf.sprintf "%s%s[%s]%s = %s" pad a
+        (String.concat ", " (List.map expr_str idx))
+        (wmark_suffix m) (expr_str e) ]
+  | Ast.Do l -> loop_lines indent "do" l
+  | Ast.Doall l -> loop_lines indent "doall" l
+  | Ast.If (c, t, e) ->
+    let head = Printf.sprintf "%sif %s then" pad (cond_str c) in
+    let t_lines = List.concat_map (stmt_lines (indent + 1)) t in
+    let e_lines =
+      if e = [] then [] else (pad ^ "else") :: List.concat_map (stmt_lines (indent + 1)) e
+    in
+    (head :: t_lines) @ e_lines @ [ pad ^ "end" ]
+  | Ast.Call (n, args) ->
+    [ Printf.sprintf "%scall %s(%s)" pad n (String.concat ", " (List.map expr_str args)) ]
+  | Ast.Critical body ->
+    ((pad ^ "critical") :: List.concat_map (stmt_lines (indent + 1)) body) @ [ pad ^ "end" ]
+  | Ast.Work e -> [ Printf.sprintf "%swork %s" pad (expr_str e) ]
+
+and loop_lines indent kw (l : Ast.loop) =
+  let pad = String.make (indent * 2) ' ' in
+  let head = Printf.sprintf "%s%s %s = %s, %s" pad kw l.index (expr_str l.lo) (expr_str l.hi) in
+  (head :: List.concat_map (stmt_lines (indent + 1)) l.body) @ [ pad ^ "end" ]
+
+(** Marked program as an annotated listing ([{N}] normal, [{Tk}] Time-Read
+    with distance k, [{B}] bypass). Not reparseable; for humans. *)
+let annotated_listing (program : Ast.program) =
+  let decls = List.map Printer.decl_str program.arrays in
+  let proc_lines (p : Ast.proc) =
+    (Printf.sprintf "proc %s(%s)" p.proc_name (String.concat ", " p.params)
+     :: List.concat_map (stmt_lines 1) p.body)
+    @ [ "end"; "" ]
+  in
+  String.concat "\n" (decls @ ("" :: List.concat_map proc_lines program.procs))
+
+(** Census summary: static reference marking statistics. *)
+let census_lines (c : Marking.census) =
+  let reads = c.normal_reads + c.time_reads + c.bypass_reads in
+  let pct n = if reads = 0 then 0.0 else 100.0 *. float_of_int n /. float_of_int reads in
+  [
+    Printf.sprintf "static array reads        %6d" reads;
+    Printf.sprintf "  normal-read             %6d (%.1f%%)" c.normal_reads (pct c.normal_reads);
+    Printf.sprintf "  time-read               %6d (%.1f%%)" c.time_reads (pct c.time_reads);
+    Printf.sprintf "  bypass-read             %6d (%.1f%%)" c.bypass_reads (pct c.bypass_reads);
+    Printf.sprintf "static array writes       %6d (+%d bypass)" c.normal_writes c.bypass_writes;
+    Printf.sprintf "time-read distances       %s"
+      (String.concat ", "
+         (List.map (fun (d, n) -> Printf.sprintf "d=%d:%d" d n) c.distance_hist));
+  ]
+
+let print_census c = List.iter print_endline (census_lines c)

@@ -1,0 +1,18 @@
+(** Human-readable output of marking decisions: annotated listings
+    ([{N}] Normal, [{Tk}] Time-Read(k), [{B}] Bypass — display-only, not
+    reparseable) and the static census summary. *)
+
+val mark_suffix : Hscd_lang.Ast.rmark -> string
+val wmark_suffix : Hscd_lang.Ast.wmark -> string
+
+val expr_str : Hscd_lang.Ast.expr -> string
+val cond_str : Hscd_lang.Ast.cond -> string
+val stmt_lines : int -> Hscd_lang.Ast.stmt -> string list
+
+(** Whole marked program as an annotated listing. *)
+val annotated_listing : Hscd_lang.Ast.program -> string
+
+(** Census summary as printable lines. *)
+val census_lines : Marking.census -> string list
+
+val print_census : Marking.census -> unit

@@ -1,0 +1,133 @@
+(** Regular section descriptors with strides.
+
+    Array data-flow analysis summarizes the set of elements a reference (or
+    a whole epoch) may touch as one strided interval per dimension, the
+    classic bounded-regular-section representation. All operations here are
+    conservative in the *may* direction: [inter_nonempty] may report true
+    for disjoint sets, [union] over-approximates, and that is exactly the
+    soundness the coherence marking needs (a spurious intersection only
+    yields a more conservative mark, never a stale read). *)
+
+(** A non-empty set of integers [{lo, lo+step, ..., hi}] with
+    [hi = lo + k*step]. [step = 0] encodes the singleton [lo]. *)
+module Sint = struct
+  type t = { lo : int; hi : int; step : int }
+
+  let singleton v = { lo = v; hi = v; step = 0 }
+
+  (** Normalize: ensure [lo <= hi], positive step ([0] means a dense
+      request), [hi] snapped onto the lattice, singletons get step 0. *)
+  let make ~lo ~hi ~step =
+    let lo, hi = if lo <= hi then (lo, hi) else (hi, lo) in
+    let step = if step = 0 then 1 else abs step in
+    let hi = lo + ((hi - lo) / step * step) in
+    if lo = hi then { lo; hi = lo; step = 0 } else { lo; hi; step }
+
+  let interval lo hi = make ~lo ~hi ~step:1
+
+  let mem v { lo; hi; step } =
+    v >= lo && v <= hi && (step = 0 || (v - lo) mod step = 0)
+
+  let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+  (** Conservative hull of two strided intervals: range hull, step the gcd
+      of both steps and of the offset between anchors. *)
+  let union a b =
+    let lo = min a.lo b.lo and hi = max a.hi b.hi in
+    let step = gcd (gcd a.step b.step) (abs (a.lo - b.lo)) in
+    make ~lo ~hi ~step
+
+  (* Extended gcd: returns (g, x, y) with a*x + b*y = g. *)
+  let rec egcd a b = if b = 0 then (a, 1, 0) else
+    let g, x, y = egcd b (a mod b) in
+    (g, y, x - (a / b) * y)
+
+  (** Exact emptiness test of the intersection of two strided intervals:
+      solutions of x ≡ a.lo (mod a.step), x ≡ b.lo (mod b.step) within the
+      common range. *)
+  let inter_nonempty a b =
+    let rlo = max a.lo b.lo and rhi = min a.hi b.hi in
+    if rlo > rhi then false
+    else if a.step = 0 then mem a.lo b
+    else if b.step = 0 then mem b.lo a
+    else begin
+      let g, x, _ = egcd a.step b.step in
+      let diff = b.lo - a.lo in
+      if diff mod g <> 0 then false
+      else begin
+        (* x0 = a.lo + a.step * x * (diff/g) is a solution of the pair of
+           congruences; the solution lattice has period lcm(a.step, b.step). *)
+        let lcm = a.step / g * b.step in
+        let x0 = a.lo + (a.step * (x * (diff / g))) in
+        (* smallest lattice point >= rlo: x0 + ceil((rlo - x0)/lcm)*lcm *)
+        let delta = rlo - x0 in
+        let k = if delta >= 0 then (delta + lcm - 1) / lcm else -((-delta) / lcm) in
+        let first = x0 + (k * lcm) in
+        first <= rhi
+      end
+    end
+
+  (** [subset a b]: true only if every element of [a] is in [b]; may return
+      false negatives (conservative for must-style reasoning). *)
+  let subset a b =
+    a.lo >= b.lo && a.hi <= b.hi && mem a.lo b && mem a.hi b
+    && (b.step = 0 || (a.step mod max 1 b.step = 0) || a.lo = a.hi)
+
+  let to_string { lo; hi; step } =
+    if lo = hi then string_of_int lo
+    else if step = 1 then Printf.sprintf "%d:%d" lo hi
+    else Printf.sprintf "%d:%d:%d" lo hi step
+end
+
+(** A section of a specific array: one strided interval per dimension. The
+    dimension list always matches the array's rank. *)
+type t = Sint.t list
+
+let whole dims : t = List.map (fun d -> Sint.interval 0 (d - 1)) dims
+
+let of_points points : t = List.map Sint.singleton points
+
+let union (a : t) (b : t) : t =
+  if List.length a <> List.length b then invalid_arg "Sections.union: rank mismatch";
+  List.map2 Sint.union a b
+
+(** May the two sections share an element? Exact per dimension; a section
+    is a cartesian product, so they intersect iff all dimensions do. *)
+let inter_nonempty (a : t) (b : t) =
+  if List.length a <> List.length b then invalid_arg "Sections.inter_nonempty: rank mismatch";
+  List.for_all2 Sint.inter_nonempty a b
+
+let subset (a : t) (b : t) =
+  List.length a = List.length b && List.for_all2 Sint.subset a b
+
+let to_string (s : t) = "[" ^ String.concat ", " (List.map Sint.to_string s) ^ "]"
+
+(** Per-array section maps, the MOD/USE summaries of the data-flow pass. *)
+module Map = struct
+  type section = t
+
+  type t = (string * section) list
+
+  let empty : t = []
+
+  let find (m : t) name = List.assoc_opt name m
+
+  let add (m : t) name (s : section) : t =
+    match find m name with
+    | None -> (name, s) :: m
+    | Some existing -> (name, union existing s) :: List.remove_assoc name m
+
+  let merge (a : t) (b : t) : t = List.fold_left (fun acc (n, s) -> add acc n s) a b
+
+  let intersects (m : t) name (s : section) =
+    match find m name with None -> false | Some ms -> inter_nonempty ms s
+
+  let arrays (m : t) = List.map fst m
+
+  let bindings (m : t) = m
+
+  let is_empty (m : t) = m = []
+
+  let to_string (m : t) =
+    String.concat "; " (List.map (fun (n, s) -> n ^ to_string s) m)
+end

@@ -1,0 +1,73 @@
+(** Regular section descriptors with strides.
+
+    All operations are conservative in the *may* direction: a spurious
+    intersection only produces a more conservative coherence mark, never a
+    stale read. *)
+
+module Sint : sig
+  (** A non-empty set [{lo, lo+step, ..., hi}]; [step = 0] encodes the
+      singleton [lo]. *)
+  type t = { lo : int; hi : int; step : int }
+
+  val singleton : int -> t
+
+  (** Normalizing constructor: orders bounds, takes |step| (0 treated as
+      dense), snaps [hi] onto the lattice. *)
+  val make : lo:int -> hi:int -> step:int -> t
+
+  (** Dense interval. *)
+  val interval : int -> int -> t
+
+  val mem : int -> t -> bool
+
+  (** Conservative hull (over-approximates the union). *)
+  val union : t -> t -> t
+
+  (** Exact emptiness test of the intersection (CRT on the two lattices). *)
+  val inter_nonempty : t -> t -> bool
+
+  (** True only if inclusion holds; may return false negatives. *)
+  val subset : t -> t -> bool
+
+  val to_string : t -> string
+end
+
+(** A section of one array: a strided interval per dimension (a cartesian
+    product). *)
+type t = Sint.t list
+
+(** Whole array of the given dimensions. *)
+val whole : int list -> t
+
+(** Singleton element. *)
+val of_points : int list -> t
+
+(** Dimension-wise conservative hull; raises on rank mismatch. *)
+val union : t -> t -> t
+
+(** May the sections share an element? Exact per dimension. *)
+val inter_nonempty : t -> t -> bool
+
+val subset : t -> t -> bool
+val to_string : t -> string
+
+(** Per-array section maps: the MOD/USE summaries of the data-flow pass. *)
+module Map : sig
+  type section = t
+  type t
+
+  val empty : t
+  val find : t -> string -> section option
+
+  (** Accumulate (union) a section for an array. *)
+  val add : t -> string -> section -> t
+
+  val merge : t -> t -> t
+  val intersects : t -> string -> section -> bool
+  val arrays : t -> string list
+
+  (** The (array, section) pairs, one per array. *)
+  val bindings : t -> (string * section) list
+  val is_empty : t -> bool
+  val to_string : t -> string
+end

@@ -1,0 +1,69 @@
+(** Epoch-structured intermediate representation.
+
+    A procedure body is re-expressed as a tree of units that makes epoch
+    boundaries explicit: maximal runs of epoch-free statements become
+    [USerial] units, each DOALL becomes a [UPar] unit, and the serial
+    control structures that *contain* epochs survive as [UDo]/[UIf] so the
+    epoch flow graph [21] can give them back edges and branch edges. Calls
+    to procedures that (transitively) contain DOALLs become [UCallE]. *)
+
+module Ast = Hscd_lang.Ast
+
+type t = unit_ list
+
+and unit_ =
+  | USerial of Ast.stmt list  (** epoch-free statements *)
+  | UPar of Ast.loop  (** one DOALL: a parallel epoch per dynamic instance *)
+  | UDo of do_hdr * t  (** serial loop containing epochs *)
+  | UIf of Ast.cond * t * t  (** branch containing epochs *)
+  | UCallE of string * Ast.expr list  (** call to an epoch-containing procedure *)
+
+and do_hdr = { index : string; lo : Ast.expr; hi : Ast.expr }
+
+(** Does this statement execute any epoch boundary? [calls_epochs] answers
+    it for procedure names. *)
+let rec stmt_has_epochs ~calls_epochs (s : Ast.stmt) =
+  match s with
+  | Ast.Doall _ -> true
+  | Ast.Do l -> List.exists (stmt_has_epochs ~calls_epochs) l.body
+  | Ast.If (_, t, e) ->
+    List.exists (stmt_has_epochs ~calls_epochs) t
+    || List.exists (stmt_has_epochs ~calls_epochs) e
+  | Ast.Call (name, _) -> calls_epochs name
+  | Ast.Critical body -> List.exists (stmt_has_epochs ~calls_epochs) body
+  | Ast.Assign _ | Ast.Store _ | Ast.Work _ -> false
+
+let rec of_stmts ~calls_epochs (stmts : Ast.stmt list) : t =
+  let flush acc units = if acc = [] then units else USerial (List.rev acc) :: units in
+  let rec go acc units = function
+    | [] -> List.rev (flush acc units)
+    | s :: rest ->
+      if not (stmt_has_epochs ~calls_epochs s) then go (s :: acc) units rest
+      else
+        let unit =
+          match s with
+          | Ast.Doall l -> UPar l
+          | Ast.Do l ->
+            UDo ({ index = l.index; lo = l.lo; hi = l.hi }, of_stmts ~calls_epochs l.body)
+          | Ast.If (c, t, e) -> UIf (c, of_stmts ~calls_epochs t, of_stmts ~calls_epochs e)
+          | Ast.Call (name, args) -> UCallE (name, args)
+          | Ast.Critical _ ->
+            (* sema rejects doalls inside critical via normalization order;
+               be defensive anyway *)
+            invalid_arg "Segment: critical section containing epochs"
+          | Ast.Assign _ | Ast.Store _ | Ast.Work _ -> assert false
+        in
+        go [] (unit :: flush acc units) rest
+  in
+  go [] [] stmts
+
+(** Inverse of [of_stmts]; used to rebuild the marked procedure body. *)
+let rec to_stmts (ir : t) : Ast.stmt list =
+  List.concat_map
+    (function
+      | USerial stmts -> stmts
+      | UPar l -> [ Ast.Doall l ]
+      | UDo (h, body) -> [ Ast.Do { index = h.index; lo = h.lo; hi = h.hi; body = to_stmts body } ]
+      | UIf (c, t, e) -> [ Ast.If (c, to_stmts t, to_stmts e) ]
+      | UCallE (name, args) -> [ Ast.Call (name, args) ])
+    ir

@@ -1,0 +1,23 @@
+(** Epoch-structured intermediate representation: a procedure body with
+    explicit epoch boundaries (see the module documentation in the
+    implementation for the construction rules). *)
+
+type t = unit_ list
+
+and unit_ =
+  | USerial of Hscd_lang.Ast.stmt list  (** epoch-free statements *)
+  | UPar of Hscd_lang.Ast.loop  (** one DOALL *)
+  | UDo of do_hdr * t  (** serial loop containing epochs *)
+  | UIf of Hscd_lang.Ast.cond * t * t  (** branch containing epochs *)
+  | UCallE of string * Hscd_lang.Ast.expr list  (** call to an epoch-containing procedure *)
+
+and do_hdr = { index : string; lo : Hscd_lang.Ast.expr; hi : Hscd_lang.Ast.expr }
+
+(** Does this statement execute any epoch boundary? [calls_epochs] answers
+    it for procedure names. *)
+val stmt_has_epochs : calls_epochs:(string -> bool) -> Hscd_lang.Ast.stmt -> bool
+
+val of_stmts : calls_epochs:(string -> bool) -> Hscd_lang.Ast.stmt list -> t
+
+(** Inverse of [of_stmts]; used to rebuild the marked procedure body. *)
+val to_stmts : t -> Hscd_lang.Ast.stmt list

@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Hashtbl Hscd_arch Hscd_compiler Hscd_sim Hscd_workloads List Printf String

@@ -1,0 +1,1 @@
+lib/experiments/experiments.ml: Common Hscd_arch Hscd_coherence Hscd_sim Hscd_util Hscd_workloads List Printf String

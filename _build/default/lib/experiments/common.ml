@@ -1,0 +1,65 @@
+(** Shared infrastructure for the experiment harness: runs every benchmark
+    under every scheme for a given machine configuration, memoizing results
+    so experiments that share a configuration do not re-simulate. *)
+
+module Config = Hscd_arch.Config
+module Run = Hscd_sim.Run
+module Metrics = Hscd_sim.Metrics
+module Trace = Hscd_sim.Trace
+module Perfect = Hscd_workloads.Perfect
+
+type bench_result = {
+  bench : string;
+  census : Hscd_compiler.Marking.census;
+  trace_epochs : int;
+  trace_events : int;
+  by_scheme : (Run.scheme_kind * Hscd_sim.Engine.result) list;
+}
+
+let cfg_key (c : Config.t) ~intertask ~small =
+  Printf.sprintf "p%d-c%d-a%d-l%d-t%d-%s-%s-%s-m%.2f-%b-%b" c.processors c.cache_bytes c.assoc
+    c.line_words c.timetag_bits
+    (Config.scheduling_name c.scheduling)
+    (match c.write_buffer with Config.Plain_buffer -> "plain" | Config.Write_cache n -> Printf.sprintf "wc%d" n)
+    (Config.consistency_name c.consistency)
+    c.migration_rate intertask small
+
+let cache : (string, bench_result list) Hashtbl.t = Hashtbl.create 16
+
+(** Run all six Perfect Club models under [schemes] with [cfg]. [small]
+    selects the test-scale versions. *)
+let run_all ?(cfg = Config.default) ?(schemes = Run.all_schemes) ?(intertask = true)
+    ?(small = false) () =
+  let key = cfg_key cfg ~intertask ~small ^ String.concat "" (List.map Run.scheme_name schemes) in
+  match Hashtbl.find_opt cache key with
+  | Some r -> r
+  | None ->
+    let results =
+      List.map
+        (fun (e : Perfect.entry) ->
+          let prog = if small then e.build_small () else e.build () in
+          let compiled, by =
+            Run.compare ~cfg ~schemes ~intertask prog
+          in
+          {
+            bench = e.name;
+            census = compiled.census;
+            trace_epochs = Trace.n_epochs compiled.trace;
+            trace_events = compiled.trace.total_events;
+            by_scheme = List.map (fun (c : Run.comparison) -> (c.kind, c.result)) by;
+          })
+        Perfect.all
+    in
+    Hashtbl.replace cache key results;
+    results
+
+let result_of r kind = List.assoc kind r.by_scheme
+
+(** Assert-style check used by every experiment: schemes must be coherent. *)
+let all_correct results =
+  List.for_all
+    (fun r ->
+      List.for_all
+        (fun (_, (e : Hscd_sim.Engine.result)) -> e.memory_ok && e.metrics.violations = 0)
+        r.by_scheme)
+    results

@@ -1,0 +1,1 @@
+lib/lang/eval.pp.ml: Array Ast Char Hashtbl List Printf Shape String

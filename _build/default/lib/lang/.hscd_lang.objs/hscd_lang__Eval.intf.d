@@ -1,0 +1,1 @@
+lib/lang/eval.pp.mli: Ast Shape

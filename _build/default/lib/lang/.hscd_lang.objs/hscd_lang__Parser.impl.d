@@ -1,0 +1,1 @@
+lib/lang/parser.pp.ml: Ast Lexer List Printf

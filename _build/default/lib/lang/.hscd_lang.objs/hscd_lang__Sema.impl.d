@@ -1,0 +1,1 @@
+lib/lang/sema.pp.ml: Ast Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/lang/sema.pp.mli: Ast

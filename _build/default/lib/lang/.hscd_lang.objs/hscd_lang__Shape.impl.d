@@ -1,0 +1,1 @@
+lib/lang/shape.pp.ml: Ast Hashtbl Hscd_util List Printf

@@ -1,0 +1,1 @@
+lib/lang/shape.pp.mli: Ast Hashtbl

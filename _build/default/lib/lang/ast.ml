@@ -1,0 +1,110 @@
+(** Abstract syntax of PFL, the small parallel Fortran-like language that
+    stands in for Polaris-parallelized Fortran (DESIGN.md substitution 1).
+
+    A PFL program declares global arrays (the shared data, playing the role
+    of Fortran COMMON blocks) and a set of procedures over scalar
+    parameters. Parallelism is expressed with [Doall] loops whose iterations
+    must be independent outside [Critical] sections, exactly the execution
+    model the paper's compiler consumes. *)
+
+type binop = Add | Sub | Mul | Div | Mod | Min | Max [@@deriving show { with_path = false }, eq]
+
+type cmpop = Eq | Ne | Lt | Le | Gt | Ge [@@deriving show { with_path = false }, eq]
+
+(** Read marks inserted by the coherence compiler (generated code uses
+    Time-Read / cache-bypass memory operations, [23,7]). [Unmarked] is what
+    the front end produces; executing unmarked code treats every read as
+    [Normal_read]. *)
+type rmark =
+  | Unmarked
+  | Normal_read  (** provably never stale: plain load *)
+  | Time_read of int  (** valid only if the word's timetag is within [d] epochs *)
+  | Bypass_read  (** always fetch from memory *)
+[@@deriving show { with_path = false }, eq]
+
+type wmark =
+  | Normal_write  (** write-through (TPI/SC) or write-back (HW) store *)
+  | Bypass_write  (** uncached store, used inside critical sections *)
+[@@deriving show { with_path = false }, eq]
+
+type expr =
+  | Int of int
+  | Var of string  (** scalar variable or loop index *)
+  | Aref of string * expr list * rmark  (** array element read *)
+  | Binop of binop * expr * expr
+  | Neg of expr
+  | Blackbox of string * expr list
+      (** runtime-evaluable but statically opaque function; models the
+          paper's unanalyzable subscripts such as [X(f(i))] *)
+[@@deriving show { with_path = false }, eq]
+
+type cond =
+  | Cmp of cmpop * expr * expr
+  | And of cond * cond
+  | Or of cond * cond
+  | Not of cond
+[@@deriving show { with_path = false }, eq]
+
+type stmt =
+  | Assign of string * expr  (** scalar assignment; scalars are task-private *)
+  | Store of string * expr list * expr * wmark  (** array element write *)
+  | Do of loop  (** sequential loop *)
+  | Doall of loop  (** parallel loop: one epoch per dynamic instance *)
+  | If of cond * stmt list * stmt list
+  | Call of string * expr list
+  | Critical of stmt list  (** lock-protected region; shared accesses bypass caches *)
+  | Work of expr  (** pure computation costing that many cycles *)
+[@@deriving show { with_path = false }, eq]
+
+and loop = { index : string; lo : expr; hi : expr; body : stmt list }
+[@@deriving show { with_path = false }, eq]
+
+type decl = { arr_name : string; dims : int list } [@@deriving show { with_path = false }, eq]
+
+type proc = { proc_name : string; params : string list; body : stmt list }
+[@@deriving show { with_path = false }, eq]
+
+type program = { arrays : decl list; procs : proc list; entry : string }
+[@@deriving show { with_path = false }, eq]
+
+let find_proc program name = List.find_opt (fun p -> p.proc_name = name) program.procs
+
+let find_array program name = List.find_opt (fun d -> d.arr_name = name) program.arrays
+
+(** Fold over every statement in a statement list, recursing into nested
+    bodies; [f] sees each statement exactly once, parents before children. *)
+let rec fold_stmts f acc stmts =
+  List.fold_left
+    (fun acc s ->
+      let acc = f acc s in
+      match s with
+      | Do l | Doall l -> fold_stmts f acc l.body
+      | If (_, t, e) -> fold_stmts f (fold_stmts f acc t) e
+      | Critical body -> fold_stmts f acc body
+      | Assign _ | Store _ | Call _ | Work _ -> acc)
+    acc stmts
+
+(** All array names read (resp. written) anywhere in an expression. *)
+let rec arrays_read_expr acc = function
+  | Int _ | Var _ -> acc
+  | Aref (a, idx, _) -> List.fold_left arrays_read_expr (a :: acc) idx
+  | Binop (_, l, r) -> arrays_read_expr (arrays_read_expr acc l) r
+  | Neg e -> arrays_read_expr acc e
+  | Blackbox (_, args) -> List.fold_left arrays_read_expr acc args
+
+let rec arrays_read_cond acc = function
+  | Cmp (_, l, r) -> arrays_read_expr (arrays_read_expr acc l) r
+  | And (a, b) | Or (a, b) -> arrays_read_cond (arrays_read_cond acc a) b
+  | Not c -> arrays_read_cond acc c
+
+(** [contains_blackbox e] is true when [e] cannot be analyzed statically. *)
+let rec contains_blackbox = function
+  | Int _ | Var _ -> false
+  | Blackbox _ -> true
+  | Neg e -> contains_blackbox e
+  | Binop (_, l, r) -> contains_blackbox l || contains_blackbox r
+  | Aref (_, idx, _) -> List.exists contains_blackbox idx
+
+(** Does a statement list contain any Doall (i.e., epoch boundaries)? *)
+let has_doall stmts =
+  fold_stmts (fun acc s -> acc || match s with Doall _ -> true | _ -> false) false stmts

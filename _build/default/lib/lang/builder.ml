@@ -1,0 +1,59 @@
+(** Combinators for constructing PFL programs directly from OCaml.
+
+    The synthetic Perfect Club kernels and most tests build their programs
+    with these helpers rather than going through the textual parser. *)
+
+open Ast
+
+(* Expressions *)
+let int n = Int n
+let var v = Var v
+let ( %+ ) a b = Binop (Add, a, b)
+let ( %- ) a b = Binop (Sub, a, b)
+let ( %* ) a b = Binop (Mul, a, b)
+let ( %/ ) a b = Binop (Div, a, b)
+let ( %% ) a b = Binop (Mod, a, b)
+let min_ a b = Binop (Min, a, b)
+let max_ a b = Binop (Max, a, b)
+let neg e = Neg e
+let blackbox name args = Blackbox (name, args)
+
+(** [a.%[idx]] reads an array element. *)
+let aref a idx = Aref (a, idx, Unmarked)
+let a1 a i = Aref (a, [ i ], Unmarked)
+let a2 a i j = Aref (a, [ i; j ], Unmarked)
+let a3 a i j k = Aref (a, [ i; j; k ], Unmarked)
+
+(* Conditions *)
+let ( %= ) a b = Cmp (Eq, a, b)
+let ( %<> ) a b = Cmp (Ne, a, b)
+let ( %< ) a b = Cmp (Lt, a, b)
+let ( %<= ) a b = Cmp (Le, a, b)
+let ( %> ) a b = Cmp (Gt, a, b)
+let ( %>= ) a b = Cmp (Ge, a, b)
+let and_ a b = And (a, b)
+let or_ a b = Or (a, b)
+let not_ c = Not c
+
+(* Statements *)
+let assign v e = Assign (v, e)
+let store a idx e = Store (a, idx, e, Normal_write)
+let s1 a i e = Store (a, [ i ], e, Normal_write)
+let s2 a i j e = Store (a, [ i; j ], e, Normal_write)
+let s3 a i j k e = Store (a, [ i; j; k ], e, Normal_write)
+let do_ index lo hi body = Do { index; lo; hi; body }
+let doall index lo hi body = Doall { index; lo; hi; body }
+let if_ c t e = If (c, t, e)
+let call name args = Call (name, args)
+let critical body = Critical body
+let work n = Work (Int n)
+let work_e e = Work e
+
+(* Declarations *)
+let array name dims = { arr_name = name; dims }
+let proc name params body = { proc_name = name; params; body }
+
+let program ?(entry = "main") arrays procs = { arrays; procs; entry }
+
+(** Convenience: a whole program that is a single entry procedure. *)
+let simple ?(entry = "main") arrays body = program ~entry arrays [ proc entry [] body ]

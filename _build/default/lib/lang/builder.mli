@@ -1,0 +1,61 @@
+(** Combinators for constructing PFL programs directly from OCaml; the
+    workloads and most tests are written with these. *)
+
+(* Expressions *)
+val int : int -> Ast.expr
+val var : string -> Ast.expr
+val ( %+ ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( %- ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( %* ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( %/ ) : Ast.expr -> Ast.expr -> Ast.expr
+
+(** Mathematical (non-negative) remainder, like the language's [mod]. *)
+val ( %% ) : Ast.expr -> Ast.expr -> Ast.expr
+
+val min_ : Ast.expr -> Ast.expr -> Ast.expr
+val max_ : Ast.expr -> Ast.expr -> Ast.expr
+val neg : Ast.expr -> Ast.expr
+val blackbox : string -> Ast.expr list -> Ast.expr
+
+(** Array reads (unmarked); [a1]/[a2]/[a3] fix the rank. *)
+val aref : string -> Ast.expr list -> Ast.expr
+
+val a1 : string -> Ast.expr -> Ast.expr
+val a2 : string -> Ast.expr -> Ast.expr -> Ast.expr
+val a3 : string -> Ast.expr -> Ast.expr -> Ast.expr -> Ast.expr
+
+(* Conditions *)
+val ( %= ) : Ast.expr -> Ast.expr -> Ast.cond
+val ( %<> ) : Ast.expr -> Ast.expr -> Ast.cond
+val ( %< ) : Ast.expr -> Ast.expr -> Ast.cond
+val ( %<= ) : Ast.expr -> Ast.expr -> Ast.cond
+val ( %> ) : Ast.expr -> Ast.expr -> Ast.cond
+val ( %>= ) : Ast.expr -> Ast.expr -> Ast.cond
+val and_ : Ast.cond -> Ast.cond -> Ast.cond
+val or_ : Ast.cond -> Ast.cond -> Ast.cond
+val not_ : Ast.cond -> Ast.cond
+
+(* Statements *)
+val assign : string -> Ast.expr -> Ast.stmt
+
+(** Array stores (normal write-mark); [s1]/[s2]/[s3] fix the rank. *)
+val store : string -> Ast.expr list -> Ast.expr -> Ast.stmt
+
+val s1 : string -> Ast.expr -> Ast.expr -> Ast.stmt
+val s2 : string -> Ast.expr -> Ast.expr -> Ast.expr -> Ast.stmt
+val s3 : string -> Ast.expr -> Ast.expr -> Ast.expr -> Ast.expr -> Ast.stmt
+val do_ : string -> Ast.expr -> Ast.expr -> Ast.stmt list -> Ast.stmt
+val doall : string -> Ast.expr -> Ast.expr -> Ast.stmt list -> Ast.stmt
+val if_ : Ast.cond -> Ast.stmt list -> Ast.stmt list -> Ast.stmt
+val call : string -> Ast.expr list -> Ast.stmt
+val critical : Ast.stmt list -> Ast.stmt
+val work : int -> Ast.stmt
+val work_e : Ast.expr -> Ast.stmt
+
+(* Declarations *)
+val array : string -> int list -> Ast.decl
+val proc : string -> string list -> Ast.stmt list -> Ast.proc
+val program : ?entry:string -> Ast.decl list -> Ast.proc list -> Ast.program
+
+(** A whole program that is a single entry procedure. *)
+val simple : ?entry:string -> Ast.decl list -> Ast.stmt list -> Ast.program

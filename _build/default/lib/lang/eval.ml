@@ -1,0 +1,352 @@
+(** Reference interpreter for PFL.
+
+    This is the single execution engine of the reproduction: run with null
+    hooks it is the sequential golden memory model; run with instrumented
+    hooks (see [Hscd_sim.Trace]) it generates the per-processor memory-event
+    streams for execution-driven simulation, as in the paper's tooling [32].
+
+    Execution model: the program runs as an alternating sequence of epochs —
+    [Serial] (the code between parallel loops, executed as one task) and
+    [Parallel] (one dynamic DOALL instance, one task per iteration). Every
+    epoch is delimited by [on_epoch_begin]/[on_epoch_end]; tasks by
+    [on_task_begin]/[on_task_end]. DOALL iterations must be independent:
+    with [check_races] enabled the interpreter verifies that no two tasks of
+    an epoch conflict on a memory word outside critical sections, which is
+    the correctness contract the paper's compiler relies on. *)
+
+exception Runtime_error of string
+
+exception Data_race of string
+
+let runtime_errorf fmt = Printf.ksprintf (fun m -> raise (Runtime_error m)) fmt
+
+type value = int
+
+type epoch_kind = Serial | Parallel of { lo : int; hi : int }
+
+type hooks = {
+  on_epoch_begin : epoch_kind -> unit;
+  on_epoch_end : unit -> unit;
+  on_task_begin : iter:int -> unit;
+      (** [iter] is the iteration's index value; [0] for a serial task *)
+  on_task_end : unit -> unit;
+  on_read : array:string -> addr:int -> value:value -> mark:Ast.rmark -> unit;
+  on_write : array:string -> addr:int -> value:value -> mark:Ast.wmark -> unit;
+  on_work : int -> unit;
+  on_lock : unit -> unit;
+  on_unlock : unit -> unit;
+}
+
+let null_hooks =
+  {
+    on_epoch_begin = (fun _ -> ());
+    on_epoch_end = (fun () -> ());
+    on_task_begin = (fun ~iter:_ -> ());
+    on_task_end = (fun () -> ());
+    on_read = (fun ~array:_ ~addr:_ ~value:_ ~mark:_ -> ());
+    on_write = (fun ~array:_ ~addr:_ ~value:_ ~mark:_ -> ());
+    on_work = (fun _ -> ());
+    on_lock = (fun () -> ());
+    on_unlock = (fun () -> ());
+  }
+
+(* --- deterministic blackbox functions --- *)
+
+(* A fixed avalanche mixer: the same (name, args) always yields the same
+   non-negative value, across runs and platforms. *)
+let blackbox_value name args =
+  let mix h v =
+    let h = h lxor (v * 0x9E3779B1) in
+    let h = (h lxor (h lsr 16)) * 0x85EBCA6B in
+    (h lxor (h lsr 13)) land max_int
+  in
+  let h0 = String.fold_left (fun h c -> mix h (Char.code c)) 0x12345 name in
+  List.fold_left mix h0 args
+
+(* --- per-epoch data-race bookkeeping --- *)
+
+module Races = struct
+  (* For each word we remember up to two distinct non-critical readers, the
+     last non-critical writer, and the same for critical accesses. Two
+     distinct readers are enough: any subsequent writer conflicts with at
+     least one of them. *)
+  type entry = {
+    mutable nc_readers : int list;
+    mutable nc_writer : int option;
+    mutable cr_readers : int list;
+    mutable cr_writer : int option;
+  }
+
+  type t = { table : (int, entry) Hashtbl.t; mutable enabled : bool }
+
+  let create enabled = { table = Hashtbl.create 1024; enabled }
+
+  let reset t = Hashtbl.reset t.table
+
+  let entry t addr =
+    match Hashtbl.find_opt t.table addr with
+    | Some e -> e
+    | None ->
+      let e = { nc_readers = []; nc_writer = None; cr_readers = []; cr_writer = None } in
+      Hashtbl.replace t.table addr e;
+      e
+
+  let add_reader readers task =
+    if List.mem task readers || List.length readers >= 2 then readers else task :: readers
+
+  let race array addr kind a b =
+    raise
+      (Data_race
+         (Printf.sprintf "data race on %s (word %d): %s by tasks %d and %d in the same epoch"
+            array addr kind a b))
+
+  let other_of task = function Some w when w <> task -> Some w | _ -> None
+
+  let record t ~array ~addr ~task ~is_write ~in_critical =
+    if t.enabled then begin
+      let e = entry t addr in
+      if in_critical then begin
+        (* critical accesses are mutually synchronized, but still conflict
+           with non-critical accesses from other tasks *)
+        (match other_of task e.nc_writer with
+        | Some w -> race array addr "critical access vs. unsynchronized write" task w
+        | None -> ());
+        if is_write then begin
+          (match List.find_opt (fun r -> r <> task) e.nc_readers with
+          | Some r -> race array addr "critical write vs. unsynchronized read" task r
+          | None -> ());
+          e.cr_writer <- Some task
+        end
+        else e.cr_readers <- add_reader e.cr_readers task
+      end
+      else begin
+        (match other_of task e.cr_writer with
+        | Some w -> race array addr "unsynchronized access vs. critical write" task w
+        | None -> ());
+        (match other_of task e.nc_writer with
+        | Some w -> race array addr (if is_write then "write/write" else "read/write") task w
+        | None -> ());
+        if is_write then begin
+          (match List.find_opt (fun r -> r <> task) e.nc_readers with
+          | Some r -> race array addr "write/read" task r
+          | None -> ());
+          (match List.find_opt (fun r -> r <> task) e.cr_readers with
+          | Some r -> race array addr "unsynchronized write vs. critical read" task r
+          | None -> ());
+          e.nc_writer <- Some task
+        end
+        else e.nc_readers <- add_reader e.nc_readers task
+      end
+    end
+end
+
+(* --- interpreter state --- *)
+
+
+type state = {
+  program : Ast.program;
+  layout : Shape.layout;
+  memory : value array;
+  hooks : hooks;
+  races : Races.t;
+  mutable task : int;  (** current task id within the epoch (= iteration rank) *)
+  mutable in_parallel : bool;
+  mutable in_critical : bool;
+  mutable steps : int;
+  max_steps : int;
+  mutable epochs_executed : int;
+}
+
+let bump_steps st =
+  st.steps <- st.steps + 1;
+  if st.steps > st.max_steps then
+    runtime_errorf "execution exceeded %d steps (non-terminating program?)" st.max_steps
+
+let lookup env v =
+  match Hashtbl.find_opt env v with
+  | Some x -> x
+  | None -> runtime_errorf "scalar %s used before definition" v
+
+(* --- expression evaluation --- *)
+
+let apply_binop op a b =
+  match (op : Ast.binop) with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Div -> if b = 0 then runtime_errorf "division by zero" else a / b
+  | Mod ->
+    if b = 0 then runtime_errorf "mod by zero"
+    else
+      (* mathematical (non-negative) remainder so subscripts stay valid *)
+      let r = a mod b in
+      if r < 0 then r + abs b else r
+  | Min -> min a b
+  | Max -> max a b
+
+let rec eval_expr st env (e : Ast.expr) =
+  match e with
+  | Int n -> n
+  | Var v -> lookup env v
+  | Neg e -> -eval_expr st env e
+  | Binop (op, l, r) ->
+    let a = eval_expr st env l in
+    let b = eval_expr st env r in
+    apply_binop op a b
+  | Blackbox (name, args) -> blackbox_value name (List.map (eval_expr st env) args)
+  | Aref (a, idx, mark) ->
+    let indices = List.map (eval_expr st env) idx in
+    let addr =
+      try Shape.address st.layout a indices
+      with Invalid_argument m -> raise (Runtime_error m)
+    in
+    Races.record st.races ~array:a ~addr ~task:st.task ~is_write:false
+      ~in_critical:st.in_critical;
+    let value = st.memory.(addr) in
+    let mark = if st.in_critical && mark = Ast.Unmarked then Ast.Bypass_read else mark in
+    st.hooks.on_read ~array:a ~addr ~value ~mark;
+    value
+
+let rec eval_cond st env (c : Ast.cond) =
+  match c with
+  | Cmp (op, l, r) ->
+    let a = eval_expr st env l in
+    let b = eval_expr st env r in
+    (match op with
+    | Eq -> a = b
+    | Ne -> a <> b
+    | Lt -> a < b
+    | Le -> a <= b
+    | Gt -> a > b
+    | Ge -> a >= b)
+  | And (a, b) -> eval_cond st env a && eval_cond st env b
+  | Or (a, b) -> eval_cond st env a || eval_cond st env b
+  | Not c -> not (eval_cond st env c)
+
+(* --- statement execution --- *)
+
+let rec exec_stmts st env stmts = List.iter (exec_stmt st env) stmts
+
+and exec_stmt st env (s : Ast.stmt) =
+  bump_steps st;
+  match s with
+  | Assign (v, e) -> Hashtbl.replace env v (eval_expr st env e)
+  | Store (a, idx, e, mark) ->
+    let indices = List.map (eval_expr st env) idx in
+    let value = eval_expr st env e in
+    let addr =
+      try Shape.address st.layout a indices
+      with Invalid_argument m -> raise (Runtime_error m)
+    in
+    Races.record st.races ~array:a ~addr ~task:st.task ~is_write:true
+      ~in_critical:st.in_critical;
+    st.memory.(addr) <- value;
+    let mark = if st.in_critical && mark = Ast.Normal_write then Ast.Bypass_write else mark in
+    st.hooks.on_write ~array:a ~addr ~value ~mark
+  | Work e ->
+    let n = eval_expr st env e in
+    if n < 0 then runtime_errorf "work with negative cycle count %d" n;
+    st.hooks.on_work n
+  | If (c, t, e) -> if eval_cond st env c then exec_stmts st env t else exec_stmts st env e
+  | Critical body ->
+    if st.in_critical then runtime_errorf "nested critical sections are not allowed";
+    st.hooks.on_lock ();
+    st.in_critical <- true;
+    (try exec_stmts st env body
+     with exn ->
+       st.in_critical <- false;
+       raise exn);
+    st.in_critical <- false;
+    st.hooks.on_unlock ()
+  | Call (name, args) ->
+    let callee =
+      match Ast.find_proc st.program name with
+      | Some p -> p
+      | None -> runtime_errorf "call to undefined procedure %s" name
+    in
+    let values = List.map (eval_expr st env) args in
+    let callee_env = Hashtbl.create 16 in
+    (try List.iter2 (fun p v -> Hashtbl.replace callee_env p v) callee.params values
+     with Invalid_argument _ ->
+       runtime_errorf "%s expects %d arguments, got %d" name (List.length callee.params)
+         (List.length values));
+    exec_stmts st callee_env callee.body
+  | Do { index; lo; hi; body } ->
+    let lo = eval_expr st env lo and hi = eval_expr st env hi in
+    let saved = Hashtbl.find_opt env index in
+    for i = lo to hi do
+      Hashtbl.replace env index i;
+      exec_stmts st env body
+    done;
+    (match saved with Some v -> Hashtbl.replace env index v | None -> Hashtbl.remove env index)
+  | Doall { index; lo; hi; body } ->
+    if st.in_parallel then runtime_errorf "nested doall survived normalization";
+    let lo = eval_expr st env lo and hi = eval_expr st env hi in
+    (* close the current serial epoch, run the parallel one, reopen serial *)
+    st.hooks.on_task_end ();
+    st.hooks.on_epoch_end ();
+    st.epochs_executed <- st.epochs_executed + 1;
+    st.hooks.on_epoch_begin (Parallel { lo; hi });
+    Races.reset st.races;
+    st.in_parallel <- true;
+    for i = lo to hi do
+      st.task <- i - lo;
+      st.hooks.on_task_begin ~iter:i;
+      (* task-private scalars: each iteration works on a copy of the
+         enclosing environment and its updates are discarded *)
+      let task_env = Hashtbl.copy env in
+      Hashtbl.replace task_env index i;
+      exec_stmts st task_env body;
+      st.hooks.on_task_end ()
+    done;
+    st.in_parallel <- false;
+    st.task <- 0;
+    st.hooks.on_epoch_end ();
+    st.epochs_executed <- st.epochs_executed + 1;
+    st.hooks.on_epoch_begin Serial;
+    Races.reset st.races;
+    st.hooks.on_task_begin ~iter:0
+
+(* --- entry point --- *)
+
+type result = {
+  final_memory : value array;
+  layout : Shape.layout;
+  epochs : int;  (** number of epochs executed (counting the serial ones) *)
+}
+
+(** Execute [program] (assumed sema-checked). [line_words] controls array
+    padding in the address map and must match the simulated machine. *)
+let run ?(hooks = null_hooks) ?(check_races = true) ?(max_steps = 50_000_000)
+    ?(line_words = 4) (program : Ast.program) =
+  let layout = Shape.layout ~line_words program.arrays in
+  let st =
+    {
+      program;
+      layout;
+      memory = Array.make (max 1 layout.total_words) 0;
+      hooks;
+      races = Races.create check_races;
+      task = 0;
+      in_parallel = false;
+      in_critical = false;
+      steps = 0;
+      max_steps;
+      epochs_executed = 0;
+    }
+  in
+  let entry =
+    match Ast.find_proc program program.entry with
+    | Some p -> p
+    | None -> runtime_errorf "entry procedure %s not found" program.entry
+  in
+  hooks.on_epoch_begin Serial;
+  hooks.on_task_begin ~iter:0;
+  exec_stmts st (Hashtbl.create 16) entry.body;
+  hooks.on_task_end ();
+  hooks.on_epoch_end ();
+  st.epochs_executed <- st.epochs_executed + 1;
+  { final_memory = st.memory; layout; epochs = st.epochs_executed }
+
+(** Read an element of the final memory, for tests and examples. *)
+let peek result name indices = result.final_memory.(Shape.address result.layout name indices)

@@ -1,0 +1,105 @@
+(** Hand-written lexer for the PFL surface syntax.
+
+    Tokens carry their line number so parse errors point at the source. *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | KW of string  (** keywords: array proc do doall end if then else call critical work and or not mod min max blackbox *)
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | EQUALS
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | CMP of Ast.cmpop
+  | EOF
+
+type located = { tok : token; line : int }
+
+exception Lex_error of string * int
+
+let keywords =
+  [ "array"; "proc"; "do"; "doall"; "end"; "if"; "then"; "else"; "call"; "critical";
+    "work"; "and"; "or"; "not"; "mod"; "min"; "max"; "blackbox" ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_alpha c || is_digit c
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 in
+  let toks = ref [] in
+  let emit tok = toks := { tok; line = !line } :: !toks in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then (incr line; incr i)
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '#' then begin
+      (* comment to end of line *)
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do incr i done;
+      emit (INT (int_of_string (String.sub src start (!i - start))))
+    end
+    else if is_alpha c then begin
+      let start = !i in
+      while !i < n && is_alnum src.[!i] do incr i done;
+      let word = String.sub src start (!i - start) in
+      if List.mem word keywords then emit (KW word) else emit (IDENT word)
+    end
+    else begin
+      let two_char op = emit op; i := !i + 2 in
+      match (c, peek 1) with
+      | '=', Some '=' -> two_char (CMP Ast.Eq)
+      | '!', Some '=' -> two_char (CMP Ast.Ne)
+      | '<', Some '=' -> two_char (CMP Ast.Le)
+      | '>', Some '=' -> two_char (CMP Ast.Ge)
+      | '<', _ -> emit (CMP Ast.Lt); incr i
+      | '>', _ -> emit (CMP Ast.Gt); incr i
+      | '=', _ -> emit EQUALS; incr i
+      | '(', _ -> emit LPAREN; incr i
+      | ')', _ -> emit RPAREN; incr i
+      | '[', _ -> emit LBRACKET; incr i
+      | ']', _ -> emit RBRACKET; incr i
+      | ',', _ -> emit COMMA; incr i
+      | '+', _ -> emit PLUS; incr i
+      | '-', _ -> emit MINUS; incr i
+      | '*', _ -> emit STAR; incr i
+      | '/', _ -> emit SLASH; incr i
+      | _ -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, !line))
+    end
+  done;
+  emit EOF;
+  List.rev !toks
+
+let pp_token = function
+  | INT n -> string_of_int n
+  | IDENT s -> s
+  | KW s -> s
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | COMMA -> ","
+  | EQUALS -> "="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | CMP Ast.Eq -> "=="
+  | CMP Ast.Ne -> "!="
+  | CMP Ast.Lt -> "<"
+  | CMP Ast.Le -> "<="
+  | CMP Ast.Gt -> ">"
+  | CMP Ast.Ge -> ">="
+  | EOF -> "<eof>"

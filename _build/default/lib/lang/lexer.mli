@@ -1,0 +1,32 @@
+(** Hand-written lexer for the PFL surface syntax. *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | KW of string
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | EQUALS
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | CMP of Ast.cmpop
+  | EOF
+
+type located = { tok : token; line : int }
+
+exception Lex_error of string * int
+
+(** Reserved words of the language. *)
+val keywords : string list
+
+(** Tokenize a whole source text; the last token is always [EOF]. Raises
+    {!Lex_error} with the offending line. [#] starts a comment to end of
+    line. *)
+val tokenize : string -> located list
+
+val pp_token : token -> string

@@ -1,0 +1,271 @@
+(** Recursive-descent parser for PFL.
+
+    Grammar (see README for the user-facing description):
+    {v
+    program  ::= { array-decl | proc }
+    decl     ::= "array" IDENT "[" INT { "," INT } "]"
+    proc     ::= "proc" IDENT "(" [params] ")" { stmt } "end"
+    stmt     ::= IDENT "=" expr
+               | IDENT "[" exprs "]" "=" expr
+               | ("do"|"doall") IDENT "=" expr "," expr { stmt } "end"
+               | "if" cond "then" { stmt } [ "else" { stmt } ] "end"
+               | "call" IDENT "(" [exprs] ")"
+               | "critical" { stmt } "end"
+               | "work" expr
+    expr     ::= additive; mul/div/mod bind tighter; atoms are INT,
+                 IDENT, IDENT "[" exprs "]", min/max/blackbox "(" ... ")",
+                 "(" expr ")", "-" atom
+    cond     ::= disjunction of conjunctions of comparisons / "not" / parens
+    v} *)
+
+exception Parse_error of string * int
+
+type state = { mutable toks : Lexer.located list }
+
+let error st msg =
+  let line = match st.toks with { line; _ } :: _ -> line | [] -> 0 in
+  raise (Parse_error (msg, line))
+
+let peek st = match st.toks with { tok; _ } :: _ -> tok | [] -> Lexer.EOF
+
+let advance st = match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let expect st tok =
+  if peek st = tok then advance st
+  else error st (Printf.sprintf "expected %s, found %s" (Lexer.pp_token tok) (Lexer.pp_token (peek st)))
+
+let expect_ident st =
+  match peek st with
+  | Lexer.IDENT s -> advance st; s
+  | t -> error st (Printf.sprintf "expected identifier, found %s" (Lexer.pp_token t))
+
+let expect_int st =
+  match peek st with
+  | Lexer.INT n -> advance st; n
+  | t -> error st (Printf.sprintf "expected integer, found %s" (Lexer.pp_token t))
+
+let expect_kw st kw =
+  match peek st with
+  | Lexer.KW k when k = kw -> advance st
+  | t -> error st (Printf.sprintf "expected %s, found %s" kw (Lexer.pp_token t))
+
+(* --- expressions --- *)
+
+let rec parse_expr st = parse_additive st
+
+and parse_additive st =
+  let lhs = parse_multiplicative st in
+  let rec loop lhs =
+    match peek st with
+    | Lexer.PLUS -> advance st; loop (Ast.Binop (Ast.Add, lhs, parse_multiplicative st))
+    | Lexer.MINUS -> advance st; loop (Ast.Binop (Ast.Sub, lhs, parse_multiplicative st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_multiplicative st =
+  let lhs = parse_atom st in
+  let rec loop lhs =
+    match peek st with
+    | Lexer.STAR -> advance st; loop (Ast.Binop (Ast.Mul, lhs, parse_atom st))
+    | Lexer.SLASH -> advance st; loop (Ast.Binop (Ast.Div, lhs, parse_atom st))
+    | Lexer.KW "mod" -> advance st; loop (Ast.Binop (Ast.Mod, lhs, parse_atom st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_atom st =
+  match peek st with
+  | Lexer.INT n -> advance st; Ast.Int n
+  | Lexer.MINUS -> advance st; Ast.Neg (parse_atom st)
+  | Lexer.LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    expect st Lexer.RPAREN;
+    e
+  | Lexer.KW ("min" | "max" as kw) ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let a = parse_expr st in
+    expect st Lexer.COMMA;
+    let b = parse_expr st in
+    expect st Lexer.RPAREN;
+    Ast.Binop ((if kw = "min" then Ast.Min else Ast.Max), a, b)
+  | Lexer.KW "blackbox" ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let name = expect_ident st in
+    let args = if peek st = Lexer.COMMA then (advance st; parse_expr_list st) else [] in
+    expect st Lexer.RPAREN;
+    Ast.Blackbox (name, args)
+  | Lexer.IDENT name ->
+    advance st;
+    if peek st = Lexer.LBRACKET then begin
+      advance st;
+      let idx = parse_expr_list st in
+      expect st Lexer.RBRACKET;
+      Ast.Aref (name, idx, Ast.Unmarked)
+    end
+    else Ast.Var name
+  | t -> error st (Printf.sprintf "expected expression, found %s" (Lexer.pp_token t))
+
+and parse_expr_list st =
+  let e = parse_expr st in
+  if peek st = Lexer.COMMA then (advance st; e :: parse_expr_list st) else [ e ]
+
+(* --- conditions --- *)
+
+let rec parse_cond st = parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  match peek st with
+  | Lexer.KW "or" -> advance st; Ast.Or (lhs, parse_or st)
+  | _ -> lhs
+
+and parse_and st =
+  let lhs = parse_cond_atom st in
+  match peek st with
+  | Lexer.KW "and" -> advance st; Ast.And (lhs, parse_and st)
+  | _ -> lhs
+
+and parse_cond_atom st =
+  match peek st with
+  | Lexer.KW "not" -> advance st; Ast.Not (parse_cond_atom st)
+  | Lexer.LPAREN ->
+    (* Could be a parenthesized condition or a comparison whose left side is
+       a parenthesized arithmetic expression; we try condition first by
+       scanning for a comparison operator at depth 0. *)
+    let rec has_cmp_at_depth0 toks depth =
+      match toks with
+      | [] -> false
+      | ({ tok; _ } : Lexer.located) :: rest -> (
+        match tok with
+        | Lexer.LPAREN | Lexer.LBRACKET -> has_cmp_at_depth0 rest (depth + 1)
+        | Lexer.RPAREN | Lexer.RBRACKET -> depth > 0 && has_cmp_at_depth0 rest (depth - 1)
+        | Lexer.CMP _ when depth = 0 -> true
+        | _ -> has_cmp_at_depth0 rest depth)
+    in
+    (match st.toks with
+    | _ :: rest when not (has_cmp_at_depth0 rest 1) ->
+      advance st;
+      let c = parse_cond st in
+      expect st Lexer.RPAREN;
+      c
+    | _ -> parse_comparison st)
+  | _ -> parse_comparison st
+
+and parse_comparison st =
+  let lhs = parse_expr st in
+  match peek st with
+  | Lexer.CMP op -> advance st; Ast.Cmp (op, lhs, parse_expr st)
+  | t -> error st (Printf.sprintf "expected comparison operator, found %s" (Lexer.pp_token t))
+
+(* --- statements --- *)
+
+let rec parse_stmts st stop_kws =
+  match peek st with
+  | Lexer.KW kw when List.mem kw stop_kws -> []
+  | Lexer.EOF -> error st "unexpected end of input inside a block"
+  | _ ->
+    let s = parse_stmt st in
+    s :: parse_stmts st stop_kws
+
+and parse_stmt st =
+  match peek st with
+  | Lexer.KW ("do" | "doall" as kw) ->
+    advance st;
+    let index = expect_ident st in
+    expect st Lexer.EQUALS;
+    let lo = parse_expr st in
+    expect st Lexer.COMMA;
+    let hi = parse_expr st in
+    let body = parse_stmts st [ "end" ] in
+    expect_kw st "end";
+    let loop = { Ast.index; lo; hi; body } in
+    if kw = "do" then Ast.Do loop else Ast.Doall loop
+  | Lexer.KW "if" ->
+    advance st;
+    let c = parse_cond st in
+    expect_kw st "then";
+    let then_b = parse_stmts st [ "else"; "end" ] in
+    let else_b =
+      if peek st = Lexer.KW "else" then (advance st; parse_stmts st [ "end" ]) else []
+    in
+    expect_kw st "end";
+    Ast.If (c, then_b, else_b)
+  | Lexer.KW "call" ->
+    advance st;
+    let name = expect_ident st in
+    expect st Lexer.LPAREN;
+    let args = if peek st = Lexer.RPAREN then [] else parse_expr_list st in
+    expect st Lexer.RPAREN;
+    Ast.Call (name, args)
+  | Lexer.KW "critical" ->
+    advance st;
+    let body = parse_stmts st [ "end" ] in
+    expect_kw st "end";
+    Ast.Critical body
+  | Lexer.KW "work" ->
+    advance st;
+    Ast.Work (parse_expr st)
+  | Lexer.IDENT name ->
+    advance st;
+    if peek st = Lexer.LBRACKET then begin
+      advance st;
+      let idx = parse_expr_list st in
+      expect st Lexer.RBRACKET;
+      expect st Lexer.EQUALS;
+      Ast.Store (name, idx, parse_expr st, Ast.Normal_write)
+    end
+    else begin
+      expect st Lexer.EQUALS;
+      Ast.Assign (name, parse_expr st)
+    end
+  | t -> error st (Printf.sprintf "expected statement, found %s" (Lexer.pp_token t))
+
+(* --- top level --- *)
+
+let parse_decl st =
+  expect_kw st "array";
+  let name = expect_ident st in
+  expect st Lexer.LBRACKET;
+  let rec dims () =
+    let d = expect_int st in
+    if peek st = Lexer.COMMA then (advance st; d :: dims ()) else [ d ]
+  in
+  let dims = dims () in
+  expect st Lexer.RBRACKET;
+  { Ast.arr_name = name; dims }
+
+let parse_proc st =
+  expect_kw st "proc";
+  let name = expect_ident st in
+  expect st Lexer.LPAREN;
+  let rec params () =
+    match peek st with
+    | Lexer.IDENT p -> advance st; if peek st = Lexer.COMMA then (advance st; p :: params ()) else [ p ]
+    | _ -> []
+  in
+  let params = params () in
+  expect st Lexer.RPAREN;
+  let body = parse_stmts st [ "end" ] in
+  expect_kw st "end";
+  { Ast.proc_name = name; params; body }
+
+let parse_program ?(entry = "main") src =
+  let st = { toks = Lexer.tokenize src } in
+  let rec loop arrays procs =
+    match peek st with
+    | Lexer.EOF -> { Ast.arrays = List.rev arrays; procs = List.rev procs; entry }
+    | Lexer.KW "array" -> let d = parse_decl st in loop (d :: arrays) procs
+    | Lexer.KW "proc" -> let p = parse_proc st in loop arrays (p :: procs)
+    | t -> error st (Printf.sprintf "expected 'array' or 'proc', found %s" (Lexer.pp_token t))
+  in
+  loop [] []
+
+(** Parse, raising [Failure] with a location-annotated message on error. *)
+let parse_exn ?entry src =
+  try parse_program ?entry src with
+  | Parse_error (msg, line) -> failwith (Printf.sprintf "parse error at line %d: %s" line msg)
+  | Lexer.Lex_error (msg, line) -> failwith (Printf.sprintf "lex error at line %d: %s" line msg)

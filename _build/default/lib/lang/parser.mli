@@ -1,0 +1,13 @@
+(** Recursive-descent parser for PFL source text (see README for the
+    grammar). *)
+
+(** Raised with a message and the line number of the offending token. *)
+exception Parse_error of string * int
+
+(** Parse a whole program. [entry] names the entry procedure (default
+    ["main"]). Raises {!Parse_error} or {!Hscd_lang.Lexer.Lex_error}. *)
+val parse_program : ?entry:string -> string -> Ast.program
+
+(** Like {!parse_program} but converts parse/lex errors into [Failure]
+    with a location-annotated message. *)
+val parse_exn : ?entry:string -> string -> Ast.program

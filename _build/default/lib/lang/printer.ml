@@ -1,0 +1,87 @@
+(** Pretty-printer producing parseable PFL source; [Parser.parse_exn]
+    composed with [program_to_string] is the identity on ASTs (tested). *)
+
+open Ast
+
+let binop_str = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "mod"
+  | Min -> "min" | Max -> "max"
+
+let cmpop_str = function
+  | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+
+(* Precedence levels: 0 additive, 1 multiplicative, 2 atom. *)
+let rec expr_prec = function
+  | Int _ | Var _ | Aref _ | Blackbox _ -> 2
+  | Neg _ -> 2
+  | Binop ((Add | Sub), _, _) -> 0
+  | Binop ((Mul | Div | Mod), _, _) -> 1
+  | Binop ((Min | Max), _, _) -> 2
+
+and expr_str ?(prec = 0) e =
+  let s =
+    match e with
+    | Int n -> if n < 0 then Printf.sprintf "(0 - %d)" (-n) else string_of_int n
+    | Var v -> v
+    | Aref (a, idx, _) -> Printf.sprintf "%s[%s]" a (String.concat ", " (List.map (expr_str ~prec:0) idx))
+    | Neg e -> "-" ^ expr_str ~prec:2 e
+    | Binop ((Min | Max) as op, a, b) ->
+      Printf.sprintf "%s(%s, %s)" (binop_str op) (expr_str a) (expr_str b)
+    | Binop (op, a, b) ->
+      let p = expr_prec e in
+      (* left-assoc: the right child of a same-level op needs one more level *)
+      Printf.sprintf "%s %s %s" (expr_str ~prec:p a) (binop_str op) (expr_str ~prec:(p + 1) b)
+    | Blackbox (name, args) ->
+      Printf.sprintf "blackbox(%s%s)" name
+        (String.concat "" (List.map (fun a -> ", " ^ expr_str a) args))
+  in
+  if expr_prec e < prec then "(" ^ s ^ ")" else s
+
+let rec cond_str ?(prec = 0) c =
+  (* precedence: or = 0, and = 1, atom = 2 *)
+  let p, s =
+    match c with
+    | Or (a, b) -> (0, Printf.sprintf "%s or %s" (cond_str ~prec:0 a) (cond_str ~prec:1 b))
+    | And (a, b) -> (1, Printf.sprintf "%s and %s" (cond_str ~prec:1 a) (cond_str ~prec:2 b))
+    | Not c -> (2, "not " ^ cond_str ~prec:2 c)
+    | Cmp (op, a, b) -> (2, Printf.sprintf "%s %s %s" (expr_str a) (cmpop_str op) (expr_str b))
+  in
+  if p < prec then "(" ^ s ^ ")" else s
+
+let rec stmt_lines indent s =
+  let pad = String.make (indent * 2) ' ' in
+  match s with
+  | Assign (v, e) -> [ Printf.sprintf "%s%s = %s" pad v (expr_str e) ]
+  | Store (a, idx, e, _) ->
+    [ Printf.sprintf "%s%s[%s] = %s" pad a (String.concat ", " (List.map expr_str idx)) (expr_str e) ]
+  | Do l -> loop_lines indent "do" l
+  | Doall l -> loop_lines indent "doall" l
+  | If (c, t, e) ->
+    let head = Printf.sprintf "%sif %s then" pad (cond_str c) in
+    let then_lines = List.concat_map (stmt_lines (indent + 1)) t in
+    let else_lines =
+      if e = [] then [] else (pad ^ "else") :: List.concat_map (stmt_lines (indent + 1)) e
+    in
+    (head :: then_lines) @ else_lines @ [ pad ^ "end" ]
+  | Call (name, args) ->
+    [ Printf.sprintf "%scall %s(%s)" pad name (String.concat ", " (List.map expr_str args)) ]
+  | Critical body ->
+    ((pad ^ "critical") :: List.concat_map (stmt_lines (indent + 1)) body) @ [ pad ^ "end" ]
+  | Work e -> [ Printf.sprintf "%swork %s" pad (expr_str e) ]
+
+and loop_lines indent kw (l : loop) =
+  let pad = String.make (indent * 2) ' ' in
+  let head = Printf.sprintf "%s%s %s = %s, %s" pad kw l.index (expr_str l.lo) (expr_str l.hi) in
+  (head :: List.concat_map (stmt_lines (indent + 1)) l.body) @ [ pad ^ "end" ]
+
+let decl_str (d : decl) =
+  Printf.sprintf "array %s[%s]" d.arr_name (String.concat ", " (List.map string_of_int d.dims))
+
+let proc_lines (p : proc) =
+  let head = Printf.sprintf "proc %s(%s)" p.proc_name (String.concat ", " p.params) in
+  (head :: List.concat_map (stmt_lines 1) p.body) @ [ "end" ]
+
+let program_to_string (prog : program) =
+  let decls = List.map decl_str prog.arrays in
+  let procs = List.concat_map (fun p -> proc_lines p @ [ "" ]) prog.procs in
+  String.concat "\n" (decls @ ("" :: procs))

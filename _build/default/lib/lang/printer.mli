@@ -1,0 +1,17 @@
+(** Pretty-printer producing parseable PFL source; composing with
+    {!Parser.parse_exn} is the identity on ASTs. *)
+
+val binop_str : Ast.binop -> string
+val cmpop_str : Ast.cmpop -> string
+
+(** Expression at a given ambient precedence (0 = loosest). *)
+val expr_str : ?prec:int -> Ast.expr -> string
+
+val cond_str : ?prec:int -> Ast.cond -> string
+
+(** One statement as indented lines. *)
+val stmt_lines : int -> Ast.stmt -> string list
+
+val decl_str : Ast.decl -> string
+val proc_lines : Ast.proc -> string list
+val program_to_string : Ast.program -> string

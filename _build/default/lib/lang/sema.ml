@@ -1,0 +1,215 @@
+(** Semantic analysis and normalization for PFL programs.
+
+    Checks performed:
+    - the entry procedure exists and takes no parameters;
+    - every called procedure exists with matching arity, and the call graph
+      is acyclic (the interprocedural analysis is bottom-up);
+    - every array reference names a declared array with the right rank;
+    - every scalar read is dominated by a definition (parameter, loop index
+      or earlier assignment) — conservatively per block;
+    - procedures containing DOALLs are not (transitively) called from
+      inside a DOALL body: PFL has single-level parallelism, as in the
+      paper's DOALL execution model.
+
+    Normalization: a [Doall] nested inside another [Doall] body in the same
+    procedure is demoted to a serial [Do] (outer-loop parallelization, as
+    Polaris does), with a note reported. *)
+
+open Ast
+
+type issue = { severity : [ `Error | `Warning ]; message : string }
+
+let errorf fmt = Printf.ksprintf (fun message -> { severity = `Error; message }) fmt
+let warnf fmt = Printf.ksprintf (fun message -> { severity = `Warning; message }) fmt
+
+type ctx = {
+  program : program;
+  mutable issues : issue list;
+}
+
+let report ctx issue = ctx.issues <- issue :: ctx.issues
+
+(* --- scalar definedness and reference checking --- *)
+
+let rec check_expr ctx ~proc ~defined e =
+  match e with
+  | Int _ -> ()
+  | Var v ->
+    if not (List.mem v defined) then
+      report ctx (errorf "%s: scalar %s read before any definition" proc v)
+  | Aref (a, idx, _) ->
+    (match find_array ctx.program a with
+    | None -> report ctx (errorf "%s: reference to undeclared array %s" proc a)
+    | Some d ->
+      if List.length d.dims <> List.length idx then
+        report ctx
+          (errorf "%s: array %s has rank %d but is used with %d subscripts" proc a
+             (List.length d.dims) (List.length idx)));
+    List.iter (check_expr ctx ~proc ~defined) idx
+  | Binop (_, l, r) -> check_expr ctx ~proc ~defined l; check_expr ctx ~proc ~defined r
+  | Neg e -> check_expr ctx ~proc ~defined e
+  | Blackbox (_, args) -> List.iter (check_expr ctx ~proc ~defined) args
+
+let rec check_cond ctx ~proc ~defined = function
+  | Cmp (_, l, r) -> check_expr ctx ~proc ~defined l; check_expr ctx ~proc ~defined r
+  | And (a, b) | Or (a, b) -> check_cond ctx ~proc ~defined a; check_cond ctx ~proc ~defined b
+  | Not c -> check_cond ctx ~proc ~defined c
+
+(* Walk a block keeping the set of surely-defined scalars. Returns the set
+   defined after the block (branches contribute their intersection). *)
+let rec check_block ctx ~proc ~defined stmts =
+  List.fold_left
+    (fun defined s ->
+      match s with
+      | Assign (v, e) ->
+        check_expr ctx ~proc ~defined e;
+        if List.mem v defined then defined else v :: defined
+      | Store (a, idx, e, _) ->
+        check_expr ctx ~proc ~defined (Aref (a, idx, Unmarked));
+        check_expr ctx ~proc ~defined e;
+        defined
+      | Do l | Doall l ->
+        check_expr ctx ~proc ~defined l.lo;
+        check_expr ctx ~proc ~defined l.hi;
+        let inner = if List.mem l.index defined then defined else l.index :: defined in
+        ignore (check_block ctx ~proc ~defined:inner l.body);
+        (* loop may execute zero times: body definitions don't escape *)
+        defined
+      | If (c, t, e) ->
+        check_cond ctx ~proc ~defined c;
+        let dt = check_block ctx ~proc ~defined t in
+        let de = check_block ctx ~proc ~defined e in
+        List.filter (fun v -> List.mem v de) dt
+      | Call (name, args) ->
+        List.iter (check_expr ctx ~proc ~defined) args;
+        (match find_proc ctx.program name with
+        | None -> report ctx (errorf "%s: call to undefined procedure %s" proc name)
+        | Some callee ->
+          if List.length callee.params <> List.length args then
+            report ctx
+              (errorf "%s: %s expects %d arguments, got %d" proc name
+                 (List.length callee.params) (List.length args)));
+        defined
+      | Critical body -> ignore (check_block ctx ~proc ~defined body); defined
+      | Work e -> check_expr ctx ~proc ~defined e; defined)
+    defined stmts
+
+(* --- call graph acyclicity --- *)
+
+let callees_of_stmts acc stmts =
+  fold_stmts (fun acc s -> match s with Call (n, _) -> n :: acc | _ -> acc) acc stmts
+
+let check_acyclic ctx =
+  let visiting = Hashtbl.create 8 and done_ = Hashtbl.create 8 in
+  let rec visit name =
+    if Hashtbl.mem done_ name then ()
+    else if Hashtbl.mem visiting name then
+      report ctx (errorf "recursion detected through procedure %s (PFL forbids recursion)" name)
+    else begin
+      Hashtbl.replace visiting name ();
+      (match find_proc ctx.program name with
+      | None -> ()
+      | Some p -> List.iter visit (callees_of_stmts [] p.body));
+      Hashtbl.remove visiting name;
+      Hashtbl.replace done_ name ()
+    end
+  in
+  List.iter (fun p -> visit p.proc_name) ctx.program.procs
+
+(* --- single-level parallelism --- *)
+
+(* Does proc [name] transitively contain a Doall? Memoized; safe because the
+   call graph is checked acyclic first. *)
+let proc_has_epochs program =
+  let memo = Hashtbl.create 8 in
+  let rec go name =
+    match Hashtbl.find_opt memo name with
+    | Some v -> v
+    | None ->
+      Hashtbl.replace memo name false (* break cycles defensively *);
+      let v =
+        match find_proc program name with
+        | None -> false
+        | Some p ->
+          fold_stmts
+            (fun acc s ->
+              acc || match s with Doall _ -> true | Call (n, _) -> go n | _ -> false)
+            false p.body
+      in
+      Hashtbl.replace memo name v;
+      v
+  in
+  go
+
+(* Demote Doalls nested inside a Doall body to serial Dos, and flag calls to
+   epoch-carrying procedures from parallel context. *)
+let rec normalize_stmts ctx ~proc ~has_epochs ~in_parallel stmts =
+  List.map
+    (fun s ->
+      match s with
+      | Doall l when in_parallel ->
+        report ctx (warnf "%s: doall over %s nested in a parallel region demoted to serial do" proc l.index);
+        Do { l with body = normalize_stmts ctx ~proc ~has_epochs ~in_parallel l.body }
+      | Doall l -> Doall { l with body = normalize_stmts ctx ~proc ~has_epochs ~in_parallel:true l.body }
+      | Do l -> Do { l with body = normalize_stmts ctx ~proc ~has_epochs ~in_parallel l.body }
+      | If (c, t, e) ->
+        If (c, normalize_stmts ctx ~proc ~has_epochs ~in_parallel t,
+            normalize_stmts ctx ~proc ~has_epochs ~in_parallel e)
+      | Critical body -> Critical (normalize_stmts ctx ~proc ~has_epochs ~in_parallel body)
+      | Call (name, _) ->
+        if in_parallel && has_epochs name then
+          report ctx
+            (errorf "%s: call to %s (which contains doalls) from inside a doall body" proc name);
+        s
+      | Assign _ | Store _ | Work _ -> s)
+    stmts
+
+(* --- duplicate names --- *)
+
+let check_duplicates ctx =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (d : decl) ->
+      if Hashtbl.mem seen d.arr_name then report ctx (errorf "duplicate array %s" d.arr_name);
+      Hashtbl.replace seen d.arr_name ())
+    ctx.program.arrays;
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (p : proc) ->
+      if Hashtbl.mem seen p.proc_name then report ctx (errorf "duplicate procedure %s" p.proc_name);
+      Hashtbl.replace seen p.proc_name ())
+    ctx.program.procs
+
+(** Run all checks. Returns the normalized program and the issue list;
+    errors (if any) mean the program must not be executed. *)
+let check (program : program) =
+  let ctx = { program; issues = [] } in
+  check_duplicates ctx;
+  (match find_proc program program.entry with
+  | None -> report ctx (errorf "entry procedure %s is not defined" program.entry)
+  | Some p ->
+    if p.params <> [] then
+      report ctx (errorf "entry procedure %s must take no parameters" program.entry));
+  check_acyclic ctx;
+  let has_errors = List.exists (fun i -> i.severity = `Error) ctx.issues in
+  let has_epochs = if has_errors then fun _ -> false else proc_has_epochs program in
+  let procs =
+    List.map
+      (fun (p : proc) ->
+        ignore (check_block ctx ~proc:p.proc_name ~defined:p.params p.body);
+        { p with body = normalize_stmts ctx ~proc:p.proc_name ~has_epochs ~in_parallel:false p.body })
+      program.procs
+  in
+  let normalized = { program with procs } in
+  (normalized, List.rev ctx.issues)
+
+let errors issues = List.filter (fun i -> i.severity = `Error) issues
+let warnings issues = List.filter (fun i -> i.severity = `Warning) issues
+
+(** [check_exn p] returns the normalized program or fails with the first
+    error message. *)
+let check_exn program =
+  let normalized, issues = check program in
+  match errors issues with
+  | [] -> normalized
+  | { message; _ } :: _ -> failwith ("sema: " ^ message)

@@ -1,0 +1,17 @@
+(** Semantic analysis and normalization for PFL programs.
+
+    Verifies name/arity/rank correctness, scalar definedness, call-graph
+    acyclicity and single-level parallelism, and demotes DOALLs nested in
+    parallel regions to serial loops (outer-loop parallelization). *)
+
+type issue = { severity : [ `Error | `Warning ]; message : string }
+
+(** Run all checks. Returns the normalized program and the issue list;
+    errors (if any) mean the program must not be executed. *)
+val check : Ast.program -> Ast.program * issue list
+
+val errors : issue list -> issue list
+val warnings : issue list -> issue list
+
+(** Returns the normalized program or fails with the first error. *)
+val check_exn : Ast.program -> Ast.program

@@ -1,0 +1,1 @@
+lib/network/kruskal_snir.ml: Float Hscd_arch Printf

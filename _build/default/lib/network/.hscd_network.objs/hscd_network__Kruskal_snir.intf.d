@@ -1,0 +1,1 @@
+lib/network/kruskal_snir.mli: Hscd_arch

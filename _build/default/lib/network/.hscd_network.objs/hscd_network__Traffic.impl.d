@@ -1,0 +1,1 @@
+lib/network/traffic.ml: Hscd_arch

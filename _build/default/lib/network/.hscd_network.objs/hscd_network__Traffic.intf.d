@@ -1,0 +1,1 @@
+lib/network/traffic.mli: Hscd_arch

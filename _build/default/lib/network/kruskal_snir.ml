@@ -1,0 +1,48 @@
+(** Analytic delay model for buffered multistage interconnection networks,
+    after Kruskal & Snir [24], as used by the paper's simulator.
+
+    The network has [stages] = ceil(log_k P) stages of k×k switches. Under
+    offered per-link utilization rho, the expected waiting time added per
+    stage is [rho * (1 - 1/k) / (2 * (1 - rho))] cycles; the total queueing
+    excess of a round trip is twice the one-way excess. The unloaded
+    traversal is considered part of the machine's base miss latency, so
+    this module only reports the *excess* due to contention. *)
+
+type t = {
+  stages : int;
+  degree : int;
+  mutable rho : float;  (** current estimated per-link utilization *)
+  rho_max : float;
+  mutable samples : int;
+}
+
+let create (c : Hscd_arch.Config.t) =
+  {
+    stages = Hscd_arch.Config.network_stages c;
+    degree = c.switch_degree;
+    rho = 0.0;
+    rho_max = 0.95;
+    samples = 0;
+  }
+
+let set_load t rho =
+  t.rho <- Float.max 0.0 (Float.min t.rho_max rho);
+  t.samples <- t.samples + 1
+
+let load t = t.rho
+
+(** Expected queueing delay added by one stage at the current load. *)
+let stage_excess t =
+  let k = float_of_int t.degree in
+  let rho = t.rho in
+  rho *. (1.0 -. (1.0 /. k)) /. (2.0 *. (1.0 -. rho))
+
+(** One-way expected excess over the unloaded traversal, in cycles. *)
+let one_way_excess t = float_of_int t.stages *. stage_excess t
+
+(** Integer round-trip queueing excess charged per remote transaction. *)
+let round_trip_excess t = int_of_float (Float.round (2.0 *. one_way_excess t))
+
+let describe t =
+  Printf.sprintf "%d-stage %dx%d multistage, rho=%.3f (+%d cycles RT)" t.stages t.degree
+    t.degree t.rho (round_trip_excess t)

@@ -1,0 +1,24 @@
+(** Analytic delay model for buffered multistage interconnection networks,
+    after Kruskal & Snir [24]. Reports the queueing *excess* over the
+    unloaded traversal (which is part of the base miss latency). *)
+
+type t
+
+val create : Hscd_arch.Config.t -> t
+
+(** Update the estimated per-link utilization (clamped to [0, 0.95]). *)
+val set_load : t -> float -> unit
+
+val load : t -> float
+
+(** Expected queueing delay added by one switch stage at the current load:
+    [rho (1 - 1/k) / (2 (1 - rho))]. *)
+val stage_excess : t -> float
+
+(** One-way expected excess, in cycles. *)
+val one_way_excess : t -> float
+
+(** Integer round-trip queueing excess charged per remote transaction. *)
+val round_trip_excess : t -> int
+
+val describe : t -> string

@@ -1,0 +1,50 @@
+(** Network traffic accounting, split the way the paper's evaluation splits
+    it: read (line-fill) traffic, write(-through / write-back) traffic, and
+    coherence-transaction traffic (invalidations, acknowledgements,
+    directory control). Counted in words. Also drives the offered-load
+    estimate of the analytic network model, updated at epoch boundaries. *)
+
+type t = {
+  mutable read_words : int;
+  mutable write_words : int;
+  mutable coherence_words : int;
+  mutable control_words : int;  (** request headers etc. *)
+  mutable epoch_start_words : int;
+  mutable epoch_start_cycle : int;
+  processors : int;
+}
+
+let create (c : Hscd_arch.Config.t) =
+  {
+    read_words = 0;
+    write_words = 0;
+    coherence_words = 0;
+    control_words = 0;
+    epoch_start_words = 0;
+    epoch_start_cycle = 0;
+    processors = c.processors;
+  }
+
+let total_words t = t.read_words + t.write_words + t.coherence_words + t.control_words
+
+let add_read t words = t.read_words <- t.read_words + words
+let add_write t words = t.write_words <- t.write_words + words
+let add_coherence t words = t.coherence_words <- t.coherence_words + words
+let add_control t words = t.control_words <- t.control_words + words
+
+(** Per-link utilization estimate over the window since the last call:
+    words injected per processor per cycle (uniform-traffic assumption of
+    the Kruskal–Snir model). Call at epoch boundaries with the current
+    global cycle; updates the window. *)
+let window_load t ~now_cycle =
+  let words = total_words t - t.epoch_start_words in
+  let cycles = max 1 (now_cycle - t.epoch_start_cycle) in
+  t.epoch_start_words <- total_words t;
+  t.epoch_start_cycle <- now_cycle;
+  float_of_int words /. float_of_int (cycles * t.processors)
+
+type snapshot = { reads : int; writes : int; coherence : int; control : int }
+
+let snapshot t =
+  { reads = t.read_words; writes = t.write_words; coherence = t.coherence_words;
+    control = t.control_words }

@@ -1,0 +1,23 @@
+(** Network traffic accounting in words, split as the paper splits it:
+    read (line-fill), write(-through/back), coherence transactions and
+    request headers. Also derives the offered-load estimate that drives the
+    analytic network model. *)
+
+type t
+
+val create : Hscd_arch.Config.t -> t
+
+val total_words : t -> int
+
+val add_read : t -> int -> unit
+val add_write : t -> int -> unit
+val add_coherence : t -> int -> unit
+val add_control : t -> int -> unit
+
+(** Per-link utilization over the window since the last call (uniform
+    traffic assumption); advances the window to [now_cycle]. *)
+val window_load : t -> now_cycle:int -> float
+
+type snapshot = { reads : int; writes : int; coherence : int; control : int }
+
+val snapshot : t -> snapshot

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Hscd_arch Hscd_coherence Hscd_network Hscd_util List Metrics Schedule Trace

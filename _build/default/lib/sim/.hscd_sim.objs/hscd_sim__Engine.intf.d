@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Hscd_arch Hscd_coherence Hscd_network Metrics Trace

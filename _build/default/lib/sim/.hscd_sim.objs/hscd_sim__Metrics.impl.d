@@ -1,0 +1,1 @@
+lib/sim/metrics.ml: Array Hscd_coherence Hscd_network Hscd_util

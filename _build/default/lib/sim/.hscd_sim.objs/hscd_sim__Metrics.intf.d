@@ -1,0 +1,1 @@
+lib/sim/metrics.mli: Hscd_coherence Hscd_network Hscd_util

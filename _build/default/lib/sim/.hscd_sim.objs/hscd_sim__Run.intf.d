@@ -1,0 +1,1 @@
+lib/sim/run.mli: Engine Hscd_arch Hscd_coherence Hscd_compiler Hscd_lang Hscd_network Trace

@@ -1,0 +1,1 @@
+lib/sim/schedule.ml: Hscd_arch Hscd_util List

@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Array Hscd_arch Hscd_lang List

@@ -1,0 +1,1 @@
+lib/sim/trace.mli: Hscd_arch Hscd_lang

@@ -1,0 +1,1 @@
+lib/sim/trace_io.ml: Array Hashtbl Hscd_arch Hscd_lang List Printf String Trace

@@ -1,0 +1,1 @@
+lib/sim/trace_stats.ml: Array Hashtbl Hscd_arch Hscd_util Schedule Trace

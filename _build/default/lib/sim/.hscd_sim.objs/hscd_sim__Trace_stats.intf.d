@@ -1,0 +1,1 @@
+lib/sim/trace_stats.mli: Hscd_arch Trace

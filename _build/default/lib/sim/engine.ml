@@ -1,0 +1,232 @@
+(** The multiprocessor timing engine.
+
+    Replays a {!Trace} against one coherence scheme: DOALL tasks are
+    assigned to processors by the configured scheduling policy, events are
+    processed in global clock order (a conservative discrete-event
+    interleaving, so directory state transitions happen in simulated-time
+    order), critical sections are granted in trace order via tickets, and
+    every epoch ends with a barrier, the scheme's boundary work (two-phase
+    resets, buffer drains) and a network-load update for the analytic
+    delay model. Every load's value is checked against the golden
+    interpreter — a failing scheme cannot hide. *)
+
+module Config = Hscd_arch.Config
+module Event = Hscd_arch.Event
+module Scheme = Hscd_coherence.Scheme
+module Kruskal_snir = Hscd_network.Kruskal_snir
+module Traffic = Hscd_network.Traffic
+
+type violation = { epoch : int; proc : int; addr : int; expected : int; got : int }
+
+type result = {
+  cycles : int;
+  metrics : Metrics.t;
+  violations : violation list;  (** capped at [max_violations] *)
+  memory_ok : bool;  (** final scheme memory equals the golden memory *)
+  network_load : float;  (** last estimated utilization *)
+}
+
+let max_violations = 10
+
+type work_item = {
+  rank : int;
+  w_task : Trace.task;
+  start : int;  (** first event index to execute (> 0 for migrated work) *)
+  w_tickets : int list;
+}
+
+type proc_state = {
+  mutable clock : int;
+  mutable pending : work_item list;  (** static assignment *)
+  mutable events : Event.t array;  (** current task's events *)
+  mutable idx : int;
+  mutable stop : int;  (** exclusive bound; < length when migrating away *)
+  mutable cur : work_item option;
+  mutable tickets : int list;  (** lock tickets of the current task *)
+}
+
+let assign_tickets (epoch : Trace.epoch) =
+  (* tickets in (rank, event) order so the engine can grant critical
+     sections in the golden interpreter's order *)
+  let counter = ref 0 in
+  Array.map
+    (fun (task : Trace.task) ->
+      Array.to_list task.events
+      |> List.filter_map (function
+           | Event.Lock ->
+             let t = !counter in
+             incr counter;
+             Some t
+           | _ -> None))
+    epoch.tasks
+
+let run (cfg : Config.t) (Scheme.Packed ((module S), sch)) ~(net : Kruskal_snir.t)
+    ~(traffic : Traffic.t) (trace : Trace.t) =
+  let metrics = Metrics.create () in
+  let violations = ref [] in
+  let global = ref 0 in
+  let prng = Hscd_util.Prng.of_int 0x5ca1ab1e in
+  Array.iteri
+    (fun epoch_no (epoch : Trace.epoch) ->
+      let ntasks = Array.length epoch.tasks in
+      let tickets = assign_tickets epoch in
+      let procs =
+        Array.init cfg.processors (fun _ ->
+            { clock = !global; pending = []; events = [||]; idx = 0; stop = 0; cur = None;
+              tickets = [] })
+      in
+      let item rank task = { rank; w_task = task; start = 0; w_tickets = tickets.(rank) } in
+      (* task distribution *)
+      let dynamic_queue = ref [] in
+      (match epoch.kind with
+      | Trace.Serial ->
+        Array.iteri
+          (fun rank task -> procs.(0).pending <- procs.(0).pending @ [ item rank task ])
+          epoch.tasks
+      | Trace.Parallel _ ->
+        if Schedule.is_static cfg then
+          Array.iteri
+            (fun rank task ->
+              let p = Schedule.static_proc cfg ~ntasks rank in
+              procs.(p).pending <- procs.(p).pending @ [ item rank task ])
+            epoch.tasks
+        else dynamic_queue := Array.to_list (Array.mapi (fun r t -> item r t) epoch.tasks));
+      (* critical-section tickets *)
+      let expected_ticket = ref 0 in
+      let lock_release = ref 0 in
+      let parallel = match epoch.kind with Trace.Parallel _ -> true | Trace.Serial -> false in
+      let start_task p ~dynamic (w : work_item) =
+        p.events <- w.w_task.events;
+        p.idx <- w.start;
+        p.cur <- Some w;
+        p.tickets <- w.w_tickets;
+        let len = Array.length p.events in
+        p.stop <- len;
+        if w.start > 0 then
+          (* resuming migrated work: reload task state on the new node *)
+          p.clock <- p.clock + (2 * cfg.lock_cycles);
+        (* decide here whether this task will migrate away mid-execution;
+           lock-holding tasks never migrate *)
+        if
+          dynamic && parallel && w.start = 0 && w.w_tickets = [] && len > 1
+          && cfg.migration_rate > 0.0
+          && Hscd_util.Prng.float prng < cfg.migration_rate
+        then p.stop <- 1 + Hscd_util.Prng.int prng (len - 1)
+      in
+      (* advance to the next task with events left; empty tasks are skipped *)
+      let rec try_refill p =
+        if p.idx < p.stop then true
+        else begin
+          (* migrating away: the unexecuted tail goes back to the shared
+             queue for another processor to pick up *)
+          (match p.cur with
+          | Some w when p.stop < Array.length p.events ->
+            metrics.migrations <- metrics.migrations + 1;
+            dynamic_queue := !dynamic_queue @ [ { w with start = p.stop } ]
+          | _ -> ());
+          p.cur <- None;
+          match p.pending with
+          | t :: rest ->
+            p.pending <- rest;
+            start_task p ~dynamic:false t;
+            try_refill p
+          | [] -> (
+            match !dynamic_queue with
+            | t :: rest ->
+              dynamic_queue := rest;
+              (* self-scheduling: fetching the shared iteration counter *)
+              p.clock <- p.clock + cfg.lock_cycles;
+              start_task p ~dynamic:true t;
+              try_refill p
+            | [] -> false)
+        end
+      in
+      let blocked p =
+        (* blocked when the next event is a Lock whose ticket is not yet due *)
+        p.idx < p.stop
+        &&
+        match p.events.(p.idx) with
+        | Event.Lock -> ( match p.tickets with t :: _ -> t <> !expected_ticket | [] -> false)
+        | _ -> false
+      in
+      let runnable p = try_refill p && not (blocked p) in
+      let rec loop () =
+        (* pick the runnable processor with the smallest clock *)
+        let best = ref None in
+        Array.iter
+          (fun p ->
+            if runnable p then
+              match !best with
+              | Some b when b.clock <= p.clock -> ()
+              | _ -> best := Some p)
+          procs;
+        match !best with
+        | None -> ()
+        | Some p ->
+          let proc = ref 0 in
+          Array.iteri (fun i q -> if q == p then proc := i) procs;
+          let proc = !proc in
+          (match p.events.(p.idx) with
+          | Event.Compute n ->
+            p.clock <- p.clock + n;
+            metrics.compute_cycles <- metrics.compute_cycles + n
+          | Event.Read { addr; mark; value; array } ->
+            let r = S.read sch ~proc ~addr ~array ~mark in
+            p.clock <- p.clock + r.latency;
+            Metrics.record_read metrics r;
+            if r.value <> value && List.length !violations < max_violations then
+              violations :=
+                { epoch = epoch_no; proc; addr; expected = value; got = r.value } :: !violations
+          | Event.Write { addr; mark; value; array } ->
+            let r = S.write sch ~proc ~addr ~array ~value ~mark in
+            p.clock <- p.clock + r.latency;
+            Metrics.record_write metrics r
+          | Event.Lock ->
+            (match p.tickets with
+            | t :: rest ->
+              assert (t = !expected_ticket);
+              p.tickets <- rest
+            | [] -> ());
+            let ready = max p.clock !lock_release in
+            metrics.lock_wait_cycles <- metrics.lock_wait_cycles + (ready - p.clock);
+            metrics.lock_acquires <- metrics.lock_acquires + 1;
+            p.clock <- ready + cfg.lock_cycles
+          | Event.Unlock ->
+            lock_release := p.clock;
+            incr expected_ticket);
+          p.idx <- p.idx + 1;
+          loop ()
+      in
+      loop ();
+      (* epoch boundary: scheme work, barrier, network-load update *)
+      let stalls = S.epoch_boundary sch in
+      let finish = ref !global in
+      Array.iteri
+        (fun i p ->
+          let c = p.clock + stalls.(i) in
+          if c > !finish then finish := c)
+        procs;
+      metrics.barriers <- metrics.barriers + 1;
+      global := !finish + cfg.barrier_cycles;
+      Kruskal_snir.set_load net (Traffic.window_load traffic ~now_cycle:!global))
+    trace.epochs;
+  metrics.cycles <- !global;
+  metrics.traffic <- Traffic.snapshot traffic;
+  metrics.scheme_stats <- S.stats sch;
+  metrics.violations <- List.length !violations;
+  let memory_ok =
+    let img = S.memory_image sch in
+    let golden = trace.golden_memory in
+    Array.length img = Array.length golden
+    &&
+    let ok = ref true in
+    Array.iteri (fun i v -> if golden.(i) <> v then ok := false) img;
+    !ok
+  in
+  {
+    cycles = !global;
+    metrics;
+    violations = List.rev !violations;
+    memory_ok;
+    network_load = Kruskal_snir.load net;
+  }

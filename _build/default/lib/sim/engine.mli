@@ -1,0 +1,24 @@
+(** The multiprocessor timing engine: replays a trace against one
+    coherence scheme in global clock order, with barriers, ticket-ordered
+    critical sections, static/dynamic scheduling, mid-task migration, and
+    per-load verification against the golden interpreter. *)
+
+type violation = { epoch : int; proc : int; addr : int; expected : int; got : int }
+
+type result = {
+  cycles : int;
+  metrics : Metrics.t;
+  violations : violation list;  (** capped at {!max_violations} *)
+  memory_ok : bool;  (** final scheme memory equals the golden memory *)
+  network_load : float;  (** last estimated utilization *)
+}
+
+val max_violations : int
+
+val run :
+  Hscd_arch.Config.t ->
+  Hscd_coherence.Scheme.packed ->
+  net:Hscd_network.Kruskal_snir.t ->
+  traffic:Hscd_network.Traffic.t ->
+  Trace.t ->
+  result

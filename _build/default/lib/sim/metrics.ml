@@ -1,0 +1,90 @@
+(** Per-run performance counters aggregated by the engine. *)
+
+module Scheme = Hscd_coherence.Scheme
+module Traffic = Hscd_network.Traffic
+
+let n_classes = 8
+
+let class_index : Scheme.miss_class -> int = function
+  | Scheme.Hit -> 0
+  | Scheme.Cold -> 1
+  | Scheme.Replacement -> 2
+  | Scheme.True_sharing -> 3
+  | Scheme.False_sharing -> 4
+  | Scheme.Conservative -> 5
+  | Scheme.Reset_inv -> 6
+  | Scheme.Uncached -> 7
+
+let class_of_index = function
+  | 0 -> Scheme.Hit
+  | 1 -> Scheme.Cold
+  | 2 -> Scheme.Replacement
+  | 3 -> Scheme.True_sharing
+  | 4 -> Scheme.False_sharing
+  | 5 -> Scheme.Conservative
+  | 6 -> Scheme.Reset_inv
+  | _ -> Scheme.Uncached
+
+type t = {
+  read_classes : int array;
+  write_classes : int array;
+  read_miss_latency : Hscd_util.Stats.Accumulator.t;
+  mutable compute_cycles : int;
+  mutable barriers : int;
+  mutable lock_acquires : int;
+  mutable lock_wait_cycles : int;
+  mutable migrations : int;
+  mutable cycles : int;  (** total execution time *)
+  mutable violations : int;  (** loads observing a non-golden value *)
+  mutable traffic : Traffic.snapshot;
+  mutable scheme_stats : Scheme.stats;
+}
+
+let create () =
+  {
+    read_classes = Array.make n_classes 0;
+    write_classes = Array.make n_classes 0;
+    read_miss_latency = Hscd_util.Stats.Accumulator.create ();
+    compute_cycles = 0;
+    barriers = 0;
+    lock_acquires = 0;
+    lock_wait_cycles = 0;
+    migrations = 0;
+    cycles = 0;
+    violations = 0;
+    traffic = { Traffic.reads = 0; writes = 0; coherence = 0; control = 0 };
+    scheme_stats = Scheme.fresh_stats ();
+  }
+
+let record_read t (r : Scheme.access_result) =
+  t.read_classes.(class_index r.cls) <- t.read_classes.(class_index r.cls) + 1;
+  if r.cls <> Scheme.Hit then Hscd_util.Stats.Accumulator.add t.read_miss_latency (float_of_int r.latency)
+
+let record_write t (r : Scheme.access_result) =
+  t.write_classes.(class_index r.cls) <- t.write_classes.(class_index r.cls) + 1
+
+let reads t = Array.fold_left ( + ) 0 t.read_classes
+let writes t = Array.fold_left ( + ) 0 t.write_classes
+let accesses t = reads t + writes t
+
+let read_hits t = t.read_classes.(0)
+let read_misses t = reads t - read_hits t
+
+(** Misses over all shared-data references (reads + writes), uncached
+    accesses counted as misses — the Figure 11 metric. *)
+let miss_rate t =
+  let total = accesses t in
+  let hits = t.read_classes.(0) + t.write_classes.(0) in
+  Hscd_util.Stats.ratio (total - hits) total
+
+let read_miss_rate t = Hscd_util.Stats.ratio (read_misses t) (reads t)
+
+(** Unnecessary misses: false sharing (hardware) + conservative-compiler +
+    reset misses, over reads and writes. *)
+let unnecessary_misses t =
+  t.read_classes.(4) + t.read_classes.(5) + t.read_classes.(6)
+  + t.write_classes.(4) + t.write_classes.(5) + t.write_classes.(6)
+
+let class_count t cls = t.read_classes.(class_index cls) + t.write_classes.(class_index cls)
+
+let avg_read_miss_latency t = Hscd_util.Stats.Accumulator.mean t.read_miss_latency

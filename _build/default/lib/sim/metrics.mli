@@ -1,0 +1,46 @@
+(** Per-run performance counters aggregated by the engine. *)
+
+module Scheme = Hscd_coherence.Scheme
+module Traffic = Hscd_network.Traffic
+
+val n_classes : int
+val class_index : Scheme.miss_class -> int
+val class_of_index : int -> Scheme.miss_class
+
+type t = {
+  read_classes : int array;  (** indexed by {!class_index} *)
+  write_classes : int array;
+  read_miss_latency : Hscd_util.Stats.Accumulator.t;
+  mutable compute_cycles : int;
+  mutable barriers : int;
+  mutable lock_acquires : int;
+  mutable lock_wait_cycles : int;
+  mutable migrations : int;
+  mutable cycles : int;  (** total execution time *)
+  mutable violations : int;  (** loads observing a non-golden value *)
+  mutable traffic : Traffic.snapshot;
+  mutable scheme_stats : Scheme.stats;
+}
+
+val create : unit -> t
+
+val record_read : t -> Scheme.access_result -> unit
+val record_write : t -> Scheme.access_result -> unit
+
+val reads : t -> int
+val writes : t -> int
+val accesses : t -> int
+val read_hits : t -> int
+val read_misses : t -> int
+
+(** Misses over all shared-data references, uncached accesses counted as
+    misses — the Figure 11 metric. *)
+val miss_rate : t -> float
+
+val read_miss_rate : t -> float
+
+(** False sharing + conservative + reset misses, reads and writes. *)
+val unnecessary_misses : t -> int
+
+val class_count : t -> Scheme.miss_class -> int
+val avg_read_miss_latency : t -> float

@@ -1,0 +1,90 @@
+(** Top-level pipeline: source program → sema → compiler marking → trace →
+    per-scheme simulation. This is the API the experiments, examples and
+    CLI drive. *)
+
+module Ast = Hscd_lang.Ast
+module Sema = Hscd_lang.Sema
+module Config = Hscd_arch.Config
+module Marking = Hscd_compiler.Marking
+module Scheme = Hscd_coherence.Scheme
+module Kruskal_snir = Hscd_network.Kruskal_snir
+module Traffic = Hscd_network.Traffic
+
+type scheme_kind = Base | SC | TPI | HW | LimitLESS | VC | INV
+
+let scheme_name = function
+  | Base -> "BASE"
+  | SC -> "SC"
+  | TPI -> "TPI"
+  | HW -> "HW"
+  | LimitLESS -> "LimitLESS"
+  | VC -> "VC"
+  | INV -> "INV"
+
+(** The four schemes of the paper's evaluation. *)
+let all_schemes = [ Base; SC; TPI; HW ]
+
+(** Plus the related-work schemes built as extensions: INV [35], VC [14]
+    and LimitLESS [2]. *)
+let extended_schemes = [ Base; SC; INV; VC; TPI; HW; LimitLESS ]
+
+let pack kind cfg ~memory_words ~network ~traffic =
+  match kind with
+  | Base ->
+    Scheme.Packed
+      ((module Hscd_coherence.Base), Hscd_coherence.Base.create cfg ~memory_words ~network ~traffic)
+  | SC ->
+    Scheme.Packed
+      ((module Hscd_coherence.Sc), Hscd_coherence.Sc.create cfg ~memory_words ~network ~traffic)
+  | TPI ->
+    Scheme.Packed
+      ((module Hscd_coherence.Tpi), Hscd_coherence.Tpi.create cfg ~memory_words ~network ~traffic)
+  | HW ->
+    Scheme.Packed
+      ((module Hscd_coherence.Hwdir), Hscd_coherence.Hwdir.create cfg ~memory_words ~network ~traffic)
+  | LimitLESS ->
+    Scheme.Packed
+      ( (module Hscd_coherence.Limitless),
+        Hscd_coherence.Limitless.create cfg ~memory_words ~network ~traffic )
+  | VC ->
+    Scheme.Packed
+      ((module Hscd_coherence.Vc), Hscd_coherence.Vc.create cfg ~memory_words ~network ~traffic)
+  | INV ->
+    Scheme.Packed
+      ((module Hscd_coherence.Inv), Hscd_coherence.Inv.create cfg ~memory_words ~network ~traffic)
+
+type compiled = {
+  marked : Ast.program;
+  census : Marking.census;
+  trace : Trace.t;
+}
+
+(** Front half: check, mark, trace. The marking is told whether the
+    engine's scheduling policy is static, so owner-alignment stays sound. *)
+let compile ?(cfg = Config.default) ?(intertask = true) ?(check_races = true)
+    (program : Ast.program) =
+  let program = Sema.check_exn program in
+  let m = Marking.mark_program ~static_sched:(Schedule.is_static cfg) ~intertask program in
+  let trace = Trace.of_program ~check_races ~line_words:cfg.line_words m.Marking.program in
+  { marked = m.Marking.program; census = m.Marking.census; trace }
+
+(** Back half: one scheme over a prepared trace. *)
+let simulate ?(cfg = Config.default) kind (trace : Trace.t) =
+  let cfg = Config.validate cfg in
+  let network = Kruskal_snir.create cfg in
+  let traffic = Traffic.create cfg in
+  let packed = pack kind cfg ~memory_words:(Trace.memory_words trace) ~network ~traffic in
+  Engine.run cfg packed ~net:network ~traffic trace
+
+type comparison = { kind : scheme_kind; result : Engine.result }
+
+(** Everything at once: compile once, then run each scheme on the same
+    trace (the paper's methodology: identical reference streams). *)
+let compare ?(cfg = Config.default) ?(schemes = all_schemes) ?(intertask = true) program =
+  let c = compile ~cfg ~intertask program in
+  (c, List.map (fun kind -> { kind; result = simulate ~cfg kind c.trace }) schemes)
+
+(** Convenience wrapper running one scheme from source. *)
+let run_source ?(cfg = Config.default) ?(intertask = true) kind program =
+  let c = compile ~cfg ~intertask program in
+  (c, simulate ~cfg kind c.trace)

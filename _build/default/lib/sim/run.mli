@@ -1,0 +1,58 @@
+(** Top-level pipeline: source program → sema → compiler marking → trace →
+    per-scheme simulation. The API the experiments, examples and CLI use. *)
+
+type scheme_kind = Base | SC | TPI | HW | LimitLESS | VC | INV
+
+val scheme_name : scheme_kind -> string
+
+(** The four schemes of the paper's evaluation. *)
+val all_schemes : scheme_kind list
+
+(** Plus the related-work schemes built as extensions. *)
+val extended_schemes : scheme_kind list
+
+(** Instantiate a scheme (used by the engine; exposed for tests). *)
+val pack :
+  scheme_kind ->
+  Hscd_arch.Config.t ->
+  memory_words:int ->
+  network:Hscd_network.Kruskal_snir.t ->
+  traffic:Hscd_network.Traffic.t ->
+  Hscd_coherence.Scheme.packed
+
+type compiled = {
+  marked : Hscd_lang.Ast.program;
+  census : Hscd_compiler.Marking.census;
+  trace : Trace.t;
+}
+
+(** Front half: check, mark (soundly w.r.t. the config's scheduling
+    policy), trace. *)
+val compile :
+  ?cfg:Hscd_arch.Config.t ->
+  ?intertask:bool ->
+  ?check_races:bool ->
+  Hscd_lang.Ast.program ->
+  compiled
+
+(** Back half: one scheme over a prepared trace. *)
+val simulate : ?cfg:Hscd_arch.Config.t -> scheme_kind -> Trace.t -> Engine.result
+
+type comparison = { kind : scheme_kind; result : Engine.result }
+
+(** Compile once, then run each scheme on the same trace (the paper's
+    methodology: identical reference streams). *)
+val compare :
+  ?cfg:Hscd_arch.Config.t ->
+  ?schemes:scheme_kind list ->
+  ?intertask:bool ->
+  Hscd_lang.Ast.program ->
+  compiled * comparison list
+
+(** One scheme from source. *)
+val run_source :
+  ?cfg:Hscd_arch.Config.t ->
+  ?intertask:bool ->
+  scheme_kind ->
+  Hscd_lang.Ast.program ->
+  compiled * Engine.result

@@ -1,0 +1,115 @@
+(** Execution-driven trace generation.
+
+    Runs the (marked) program under the instrumented interpreter and
+    collects, per epoch and per task, the stream of memory events the
+    timing engine will replay — the role of the instrumentation tools of
+    [32] in the paper's methodology. The trace also keeps the golden final
+    memory for end-of-run verification. *)
+
+module Ast = Hscd_lang.Ast
+module Eval = Hscd_lang.Eval
+module Shape = Hscd_lang.Shape
+module Event = Hscd_arch.Event
+
+type epoch_kind = Serial | Parallel of { lo : int; hi : int }
+
+type task = { iter : int; events : Event.t array }
+
+type epoch = { kind : epoch_kind; tasks : task array }
+
+type t = {
+  epochs : epoch array;
+  layout : Shape.layout;
+  golden_memory : int array;
+  total_events : int;
+}
+
+(* Work events are coalesced with an implicit 1-cycle cost per memory
+   event's address computation; explicit [work] statements add more. *)
+
+let of_program ?(check_races = true) ?(line_words = 4) (program : Ast.program) =
+  let epochs = ref [] in
+  let cur_tasks = ref [] in
+  let cur_kind = ref Serial in
+  let cur_events = ref [] in
+  let cur_iter = ref 0 in
+  let pending_work = ref 0 in
+  let total = ref 0 in
+  let flush_work () =
+    if !pending_work > 0 then begin
+      cur_events := Event.Compute !pending_work :: !cur_events;
+      pending_work := 0
+    end
+  in
+  let emit e =
+    flush_work ();
+    incr total;
+    cur_events := e :: !cur_events
+  in
+  let hooks =
+    {
+      Eval.on_epoch_begin =
+        (fun kind ->
+          cur_kind :=
+            (match kind with
+            | Eval.Serial -> Serial
+            | Eval.Parallel { lo; hi } -> Parallel { lo; hi });
+          cur_tasks := []);
+      on_epoch_end =
+        (fun () ->
+          let tasks = Array.of_list (List.rev !cur_tasks) in
+          epochs := { kind = !cur_kind; tasks } :: !epochs);
+      on_task_begin =
+        (fun ~iter ->
+          cur_iter := iter;
+          cur_events := [];
+          pending_work := 0);
+      on_task_end =
+        (fun () ->
+          flush_work ();
+          cur_tasks :=
+            { iter = !cur_iter; events = Array.of_list (List.rev !cur_events) } :: !cur_tasks);
+      on_read =
+        (fun ~array ~addr ~value ~mark ->
+          emit (Event.Read { addr; mark = Event.of_ast_rmark mark; value; array }));
+      on_write =
+        (fun ~array ~addr ~value ~mark ->
+          emit (Event.Write { addr; mark = Event.of_ast_wmark mark; value; array }));
+      on_work = (fun n -> pending_work := !pending_work + n);
+      on_lock = (fun () -> emit Event.Lock);
+      on_unlock = (fun () -> emit Event.Unlock);
+    }
+  in
+  let result = Eval.run ~hooks ~check_races ~line_words program in
+  {
+    epochs = Array.of_list (List.rev !epochs);
+    layout = result.Eval.layout;
+    golden_memory = result.Eval.final_memory;
+    total_events = !total;
+  }
+
+let n_epochs t = Array.length t.epochs
+
+let n_parallel_epochs t =
+  Array.fold_left
+    (fun acc e -> match e.kind with Parallel _ -> acc + 1 | Serial -> acc)
+    0 t.epochs
+
+let memory_words t = max 1 t.layout.Shape.total_words
+
+(** Count memory accesses (reads, writes) in the whole trace. *)
+let access_counts t =
+  let reads = ref 0 and writes = ref 0 in
+  Array.iter
+    (fun e ->
+      Array.iter
+        (fun task ->
+          Array.iter
+            (function
+              | Event.Read _ -> incr reads
+              | Event.Write _ -> incr writes
+              | Event.Compute _ | Event.Lock | Event.Unlock -> ())
+            task.events)
+        e.tasks)
+    t.epochs;
+  (!reads, !writes)

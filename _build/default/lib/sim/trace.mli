@@ -1,0 +1,29 @@
+(** Execution-driven trace generation: runs a (marked) program under the
+    instrumented interpreter and collects per-epoch, per-task memory-event
+    streams plus the golden final memory. *)
+
+type epoch_kind = Serial | Parallel of { lo : int; hi : int }
+
+type task = { iter : int; events : Hscd_arch.Event.t array }
+
+type epoch = { kind : epoch_kind; tasks : task array }
+
+type t = {
+  epochs : epoch array;
+  layout : Hscd_lang.Shape.layout;
+  golden_memory : int array;
+  total_events : int;
+}
+
+(** Generate the trace of a sema-checked (and normally compiler-marked)
+    program. [line_words] must match the simulated machine's line size. *)
+val of_program : ?check_races:bool -> ?line_words:int -> Hscd_lang.Ast.program -> t
+
+val n_epochs : t -> int
+val n_parallel_epochs : t -> int
+
+(** At least 1, for allocating scheme memory images. *)
+val memory_words : t -> int
+
+(** (reads, writes) over the whole trace. *)
+val access_counts : t -> int * int

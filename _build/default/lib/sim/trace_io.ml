@@ -1,0 +1,190 @@
+(** Plain-text serialization of traces, so a marked program's event stream
+    can be generated once and replayed by external tooling (or inspected
+    by hand). The format is line-oriented:
+
+    {v
+    hscd-trace 1
+    words <total_words>
+    array <name> <base> <dim> [<dim> ...]
+    golden <index> <value>            (only non-zero words)
+    epoch serial | epoch parallel <lo> <hi>
+    task <iter>
+    C <cycles>
+    R <addr> <mark> <value> <array>   (mark: N|U|B|T<d>)
+    W <addr> <mark> <value> <array>   (mark: N|B)
+    L / U                             (lock / unlock)
+    v} *)
+
+module Event = Hscd_arch.Event
+module Shape = Hscd_lang.Shape
+
+let mark_str = function
+  | Event.Unmarked -> "U"
+  | Event.Normal_read -> "N"
+  | Event.Bypass_read -> "B"
+  | Event.Time_read d -> "T" ^ string_of_int d
+
+let mark_of_str s =
+  match s with
+  | "U" -> Event.Unmarked
+  | "N" -> Event.Normal_read
+  | "B" -> Event.Bypass_read
+  | _ when String.length s > 1 && s.[0] = 'T' ->
+    Event.Time_read (int_of_string (String.sub s 1 (String.length s - 1)))
+  | _ -> failwith ("Trace_io: bad read mark " ^ s)
+
+let wmark_str = function Event.Normal_write -> "N" | Event.Bypass_write -> "B"
+
+let wmark_of_str = function
+  | "N" -> Event.Normal_write
+  | "B" -> Event.Bypass_write
+  | s -> failwith ("Trace_io: bad write mark " ^ s)
+
+let write_channel oc (t : Trace.t) =
+  let pr fmt = Printf.fprintf oc fmt in
+  pr "hscd-trace 1\n";
+  pr "words %d\n" t.layout.Shape.total_words;
+  List.iter
+    (fun (a : Shape.t) ->
+      pr "array %s %d %s\n" a.name a.base (String.concat " " (List.map string_of_int a.dims)))
+    (Shape.arrays_in_order t.layout);
+  Array.iteri (fun i v -> if v <> 0 then pr "golden %d %d\n" i v) t.golden_memory;
+  Array.iter
+    (fun (e : Trace.epoch) ->
+      (match e.kind with
+      | Trace.Serial -> pr "epoch serial\n"
+      | Trace.Parallel { lo; hi } -> pr "epoch parallel %d %d\n" lo hi);
+      Array.iter
+        (fun (task : Trace.task) ->
+          pr "task %d\n" task.iter;
+          Array.iter
+            (fun ev ->
+              match ev with
+              | Event.Compute n -> pr "C %d\n" n
+              | Event.Read { addr; mark; value; array } ->
+                pr "R %d %s %d %s\n" addr (mark_str mark) value array
+              | Event.Write { addr; mark; value; array } ->
+                pr "W %d %s %d %s\n" addr (wmark_str mark) value array
+              | Event.Lock -> pr "L\n"
+              | Event.Unlock -> pr "U\n")
+            task.events)
+        e.tasks)
+    t.epochs
+
+let save path t =
+  let oc = open_out path in
+  (try write_channel oc t with exn -> close_out oc; raise exn);
+  close_out oc
+
+(* --- loading --- *)
+
+type builder = {
+  mutable words : int;
+  mutable arrays : (string * int * int list) list;  (* name, base, dims; reversed *)
+  mutable golden : (int * int) list;
+  mutable epochs : Trace.epoch list;  (* reversed *)
+  mutable cur_kind : Trace.epoch_kind option;
+  mutable cur_tasks : Trace.task list;  (* reversed *)
+  mutable cur_iter : int;
+  mutable cur_events : Event.t list;  (* reversed *)
+  mutable in_task : bool;
+  mutable total : int;
+}
+
+let flush_task b =
+  if b.in_task then begin
+    b.cur_tasks <-
+      { Trace.iter = b.cur_iter; events = Array.of_list (List.rev b.cur_events) } :: b.cur_tasks;
+    b.cur_events <- [];
+    b.in_task <- false
+  end
+
+let flush_epoch b =
+  flush_task b;
+  match b.cur_kind with
+  | None -> ()
+  | Some kind ->
+    b.epochs <- { Trace.kind; tasks = Array.of_list (List.rev b.cur_tasks) } :: b.epochs;
+    b.cur_tasks <- [];
+    b.cur_kind <- None
+
+let parse_line b line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "" ] -> ()
+  | [ "hscd-trace"; "1" ] -> ()
+  | [ "words"; n ] -> b.words <- int_of_string n
+  | "array" :: name :: base :: dims ->
+    b.arrays <- (name, int_of_string base, List.map int_of_string dims) :: b.arrays
+  | [ "golden"; i; v ] -> b.golden <- (int_of_string i, int_of_string v) :: b.golden
+  | [ "epoch"; "serial" ] ->
+    flush_epoch b;
+    b.cur_kind <- Some Trace.Serial
+  | [ "epoch"; "parallel"; lo; hi ] ->
+    flush_epoch b;
+    b.cur_kind <- Some (Trace.Parallel { lo = int_of_string lo; hi = int_of_string hi })
+  | [ "task"; iter ] ->
+    flush_task b;
+    b.cur_iter <- int_of_string iter;
+    b.in_task <- true
+  | [ "C"; n ] -> b.cur_events <- Event.Compute (int_of_string n) :: b.cur_events
+  | [ "R"; addr; mark; value; array ] ->
+    b.total <- b.total + 1;
+    b.cur_events <-
+      Event.Read
+        { addr = int_of_string addr; mark = mark_of_str mark; value = int_of_string value; array }
+      :: b.cur_events
+  | [ "W"; addr; mark; value; array ] ->
+    b.total <- b.total + 1;
+    b.cur_events <-
+      Event.Write
+        { addr = int_of_string addr; mark = wmark_of_str mark; value = int_of_string value; array }
+      :: b.cur_events
+  | [ "L" ] -> b.cur_events <- Event.Lock :: b.cur_events
+  | [ "U" ] -> b.cur_events <- Event.Unlock :: b.cur_events
+  | _ -> failwith ("Trace_io: bad line: " ^ line)
+
+let load path : Trace.t =
+  let b =
+    {
+      words = 0;
+      arrays = [];
+      golden = [];
+      epochs = [];
+      cur_kind = None;
+      cur_tasks = [];
+      cur_iter = 0;
+      cur_events = [];
+      in_task = false;
+      total = 0;
+    }
+  in
+  let ic = open_in path in
+  (try
+     while true do
+       parse_line b (input_line ic)
+     done
+   with
+  | End_of_file -> close_in ic
+  | exn ->
+    close_in ic;
+    raise exn);
+  flush_epoch b;
+  let arrays = Hashtbl.create 16 in
+  List.iter
+    (fun (name, base, dims) ->
+      Hashtbl.replace arrays name
+        { Shape.name; dims; size = Shape.size_of_dims dims; base })
+    b.arrays;
+  let golden = Array.make (max 1 b.words) 0 in
+  List.iter (fun (i, v) -> golden.(i) <- v) b.golden;
+  {
+    Trace.epochs = Array.of_list (List.rev b.epochs);
+    layout = { Shape.arrays; total_words = b.words };
+    golden_memory = golden;
+    total_events = b.total;
+  }
+
+(** Structural equality of traces (for round-trip tests). *)
+let equal (a : Trace.t) (b : Trace.t) =
+  a.epochs = b.epochs && a.golden_memory = b.golden_memory
+  && a.layout.Shape.total_words = b.layout.Shape.total_words

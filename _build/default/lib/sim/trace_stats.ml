@@ -1,0 +1,89 @@
+(** Workload characterization: static/dynamic properties of a trace, the
+    kind of table evaluation sections open with (program sizes, reference
+    counts, sharing degrees). *)
+
+module Config = Hscd_arch.Config
+module Event = Hscd_arch.Event
+
+type t = {
+  epochs : int;
+  parallel_epochs : int;
+  tasks : int;
+  reads : int;
+  writes : int;
+  compute_cycles : int;
+  lock_events : int;
+  footprint_words : int;  (** distinct words touched *)
+  shared_words : int;  (** words touched by more than one processor (block map) *)
+  avg_parallelism : float;  (** mean tasks per parallel epoch *)
+  marked_reads : int;  (** reads carrying a Time-Read/Bypass mark *)
+}
+
+let of_trace (cfg : Config.t) (trace : Trace.t) =
+  let touched : (int, int) Hashtbl.t = Hashtbl.create 4096 in
+  (* bit set of processors per word, as an int mask (<= 62 procs) *)
+  let reads = ref 0 and writes = ref 0 and compute = ref 0 and locks = ref 0 in
+  let marked = ref 0 and tasks = ref 0 and par_epochs = ref 0 and par_tasks = ref 0 in
+  Array.iter
+    (fun (epoch : Trace.epoch) ->
+      let ntasks = Array.length epoch.tasks in
+      (match epoch.kind with
+      | Trace.Parallel _ ->
+        incr par_epochs;
+        par_tasks := !par_tasks + ntasks
+      | Trace.Serial -> ());
+      Array.iteri
+        (fun rank (task : Trace.task) ->
+          incr tasks;
+          let proc =
+            match epoch.kind with
+            | Trace.Serial -> 0
+            | Trace.Parallel _ ->
+              if Schedule.is_static cfg then Schedule.static_proc cfg ~ntasks rank
+              else rank mod cfg.processors
+          in
+          let bit = 1 lsl min proc 61 in
+          let touch addr =
+            let old = try Hashtbl.find touched addr with Not_found -> 0 in
+            Hashtbl.replace touched addr (old lor bit)
+          in
+          Array.iter
+            (fun (e : Event.t) ->
+              match e with
+              | Event.Read { addr; mark; _ } ->
+                incr reads;
+                (match mark with
+                | Event.Time_read _ | Event.Bypass_read -> incr marked
+                | Event.Normal_read | Event.Unmarked -> ());
+                touch addr
+              | Event.Write { addr; _ } ->
+                incr writes;
+                touch addr
+              | Event.Compute n -> compute := !compute + n
+              | Event.Lock -> incr locks
+              | Event.Unlock -> ())
+            task.events)
+        epoch.tasks)
+    trace.epochs;
+  let footprint = Hashtbl.length touched in
+  let shared = Hashtbl.fold (fun _ mask acc -> if mask land (mask - 1) <> 0 then acc + 1 else acc) touched 0 in
+  {
+    epochs = Array.length trace.epochs;
+    parallel_epochs = !par_epochs;
+    tasks = !tasks;
+    reads = !reads;
+    writes = !writes;
+    compute_cycles = !compute;
+    lock_events = !locks;
+    footprint_words = footprint;
+    shared_words = shared;
+    avg_parallelism =
+      (if !par_epochs = 0 then 0.0 else float_of_int !par_tasks /. float_of_int !par_epochs);
+    marked_reads = !marked;
+  }
+
+(** Fraction of reads the compiler could not prove safe. *)
+let marked_read_fraction t = Hscd_util.Stats.ratio t.marked_reads t.reads
+
+(** Fraction of the footprint actively shared between processors. *)
+let sharing_fraction t = Hscd_util.Stats.ratio t.shared_words t.footprint_words

@@ -1,0 +1,58 @@
+(** Fixed-capacity bit sets, used for directory presence vectors.
+
+    A full-map directory keeps one presence bit per processor per memory
+    block, so this structure is on the simulator's hot path; it is backed by
+    an int array with 62 usable bits per word. *)
+
+type t = { words : int array; capacity : int }
+
+let bits_per_word = 62
+
+let create capacity =
+  assert (capacity >= 0);
+  { words = Array.make ((capacity + bits_per_word - 1) / bits_per_word + 1) 0; capacity }
+
+let capacity t = t.capacity
+
+let check t i =
+  if i < 0 || i >= t.capacity then invalid_arg (Printf.sprintf "Bitset: index %d out of [0,%d)" i t.capacity)
+
+let mem t i =
+  check t i;
+  t.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let add t i =
+  check t i;
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl (i mod bits_per_word))
+
+let remove t i =
+  check t i;
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl (i mod bits_per_word))
+
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
+let popcount_word w =
+  let rec loop w acc = if w = 0 then acc else loop (w land (w - 1)) (acc + 1) in
+  loop w 0
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount_word w) 0 t.words
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let iter f t =
+  for i = 0 to t.capacity - 1 do
+    if mem t i then f i
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let copy t = { words = Array.copy t.words; capacity = t.capacity }
+
+let equal a b = a.capacity = b.capacity && a.words = b.words

@@ -1,0 +1,28 @@
+(** Integer helpers shared across the cache and address-mapping layers. *)
+
+val is_pow2 : int -> bool
+
+(** Base-2 logarithm of a positive power of two; raises [Invalid_argument]
+    otherwise. *)
+val ilog2 : int -> int
+
+(** Ceiling division; raises [Invalid_argument] on a non-positive divisor. *)
+val ceil_div : int -> int -> int
+
+(** Round up to the next multiple. *)
+val round_up : int -> int -> int
+
+(** [pow2 n] is [2^n] for [0 <= n <= 61]. *)
+val pow2 : int -> int
+
+val clamp : lo:int -> hi:int -> int -> int
+
+(** Inclusive integer range as a list; empty when [hi < lo]. *)
+val range : int -> int -> int list
+
+val sum : int list -> int
+
+(** Raise [Invalid_argument] on the empty list. *)
+val max_list : int list -> int
+
+val min_list : int list -> int

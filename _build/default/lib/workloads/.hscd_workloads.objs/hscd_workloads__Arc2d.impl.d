@@ -1,0 +1,1 @@
+lib/workloads/arc2d.ml: Hscd_lang

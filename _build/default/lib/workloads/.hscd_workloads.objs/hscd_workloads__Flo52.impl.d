@@ -1,0 +1,1 @@
+lib/workloads/flo52.ml: Hscd_lang List

@@ -1,0 +1,1 @@
+lib/workloads/perfect.ml: Arc2d Flo52 Hscd_lang List Ocean Qcd2 Spec77 String Trfd

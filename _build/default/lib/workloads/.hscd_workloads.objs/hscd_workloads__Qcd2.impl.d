@@ -1,0 +1,1 @@
+lib/workloads/qcd2.ml: Hscd_lang

@@ -1,0 +1,1 @@
+lib/workloads/spec77.ml: Hscd_lang

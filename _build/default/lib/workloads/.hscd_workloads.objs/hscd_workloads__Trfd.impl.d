@@ -1,0 +1,1 @@
+lib/workloads/trfd.ml: Hscd_lang

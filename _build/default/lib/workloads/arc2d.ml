@@ -1,0 +1,71 @@
+(** ARC2D — implicit finite-difference aerodynamics (Perfect Club).
+
+    The heart of ARC2D is an ADI (alternating-direction implicit) solver:
+    every step performs recurrences along rows (parallel over rows) and
+    then along columns (parallel over columns). The column sweep reads and
+    writes data laid out row-major, so each task touches one word per
+    cache line of state the row sweep's other processors produced — the
+    classic false-sharing/misalignment workload: HW pays false-sharing
+    invalidation misses, TPI pays (correct) Time-Read misses, and neither
+    direction can be owner-aligned with the other. *)
+
+open Hscd_lang.Builder
+
+let default_n = 40
+let default_steps = 3
+
+let build ?(n = default_n) ?(steps = default_steps) () =
+  program
+    [ array "q" [ n; n ]; array "rhs" [ n; n ] ]
+    [
+      proc "main" []
+        [
+          doall "i" (int 0)
+            (int (n - 1))
+            [ do_ "j" (int 0) (int (n - 1)) [ s2 "q" (var "i") (var "j") ((var "i" %* int 5) %+ var "j") ] ];
+          do_ "t" (int 0)
+            (int (steps - 1))
+            [
+              (* explicit RHS from the 5-point stencil (aligned rows) *)
+              doall "i" (int 1)
+                (int (n - 2))
+                [
+                  do_ "j" (int 1)
+                    (int (n - 2))
+                    [
+                      s2 "rhs" (var "i") (var "j")
+                        ((a2 "q" (var "i" %- int 1) (var "j") %+ a2 "q" (var "i" %+ int 1) (var "j")
+                         %+ a2 "q" (var "i") (var "j" %- int 1)
+                         %+ a2 "q" (var "i") (var "j" %+ int 1))
+                        %/ int 4);
+                      work 4;
+                    ];
+                ];
+              (* x-direction implicit sweep: recurrence along each row *)
+              doall "i" (int 1)
+                (int (n - 2))
+                [
+                  do_ "j" (int 1)
+                    (int (n - 2))
+                    [
+                      s2 "q" (var "i") (var "j")
+                        ((a2 "q" (var "i") (var "j" %- int 1) %+ a2 "rhs" (var "i") (var "j")) %% int 65537);
+                      work 2;
+                    ];
+                ];
+              (* y-direction implicit sweep: tasks own columns, recurrence
+                 down each column through row-major memory *)
+              doall "j" (int 1)
+                (int (n - 2))
+                [
+                  do_ "i" (int 1)
+                    (int (n - 2))
+                    [
+                      s2 "q" (var "i") (var "j")
+                        ((a2 "q" (var "i" %- int 1) (var "j") %+ a2 "rhs" (var "i") (var "j")) %% int 65537);
+                      work 2;
+                    ];
+                ];
+            ];
+        ];
+    ]

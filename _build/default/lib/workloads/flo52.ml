@@ -1,0 +1,87 @@
+(** FLO52 — transonic-flow Euler solver on a multigrid hierarchy (Perfect
+    Club).
+
+    The solver alternates Runge-Kutta smoothing sweeps over the fine grid
+    with restriction to coarser grids and prolongation back. Memory-wise
+    that is: row-partitioned 5-point stencil sweeps (well aligned between
+    consecutive DOALLs, so TPI's intertask locality pays off) plus
+    inter-grid transfers whose subscripts scale by two (strided sections).
+    The synthetic kernel runs V-cycles over a three-level hierarchy. *)
+
+open Hscd_lang.Builder
+
+let default_n = 48
+let default_cycles = 3
+
+(* One Jacobi-like smoothing sweep over grid [g] of size [n], writing the
+   scratch array [s] then copying back — two aligned DOALLs. *)
+let smooth g s n =
+  [
+    doall "i" (int 1)
+      (int (n - 2))
+      [
+        do_ "j" (int 1)
+          (int (n - 2))
+          [
+            s2 s (var "i") (var "j")
+              ((a2 g (var "i" %- int 1) (var "j")
+               %+ a2 g (var "i" %+ int 1) (var "j")
+               %+ a2 g (var "i") (var "j" %- int 1)
+               %+ a2 g (var "i") (var "j" %+ int 1))
+              %/ int 4);
+            work 4;
+          ];
+      ];
+    doall "i" (int 1) (int (n - 2)) [ do_ "j" (int 1) (int (n - 2)) [ s2 g (var "i") (var "j") (a2 s (var "i") (var "j")) ] ];
+  ]
+
+(* Restriction: coarse(i,j) = fine(2i, 2j) — stride-2 strided sections. *)
+let restrict fine coarse cn =
+  [
+    doall "i" (int 0)
+      (int (cn - 1))
+      [ do_ "j" (int 0) (int (cn - 1)) [ s2 coarse (var "i") (var "j") (a2 fine (var "i" %* int 2) (var "j" %* int 2)) ] ];
+  ]
+
+(* Prolongation: fine(2i, 2j) += coarse(i, j). *)
+let prolong coarse fine cn =
+  [
+    doall "i" (int 0)
+      (int (cn - 1))
+      [
+        do_ "j" (int 0)
+          (int (cn - 1))
+          [
+            s2 fine (var "i" %* int 2) (var "j" %* int 2)
+              (a2 fine (var "i" %* int 2) (var "j" %* int 2) %+ (a2 coarse (var "i") (var "j") %/ int 2));
+          ];
+      ];
+  ]
+
+let build ?(n = default_n) ?(cycles = default_cycles) () =
+  let n2 = n / 2 and n4 = n / 4 in
+  program
+    [
+      array "w0" [ n; n ]; array "r0" [ n; n ];
+      array "w1" [ n2; n2 ]; array "r1" [ n2; n2 ];
+      array "w2" [ n4; n4 ]; array "r2" [ n4; n4 ];
+    ]
+    [
+      proc "main" []
+        ([
+           doall "i" (int 0)
+             (int (n - 1))
+             [ do_ "j" (int 0) (int (n - 1)) [ s2 "w0" (var "i") (var "j") ((var "i" %* var "j") %% int 97) ] ];
+         ]
+        @ List.concat
+            (List.init cycles (fun _ ->
+                 smooth "w0" "r0" n
+                 @ restrict "w0" "w1" n2
+                 @ smooth "w1" "r1" n2
+                 @ restrict "w1" "w2" n4
+                 @ smooth "w2" "r2" n4
+                 @ prolong "w2" "w1" n4
+                 @ smooth "w1" "r1" n2
+                 @ prolong "w1" "w0" n2
+                 @ smooth "w0" "r0" n)))
+    ]

@@ -1,0 +1,229 @@
+(** Microkernel workloads used by tests, examples and ablations. All are
+    built with {!Hscd_lang.Builder} and sized by parameters so tests can
+    keep them tiny while benches scale them up. *)
+
+open Hscd_lang.Builder
+
+(** 1-D Jacobi relaxation: the canonical aligned-stencil workload (good
+    intertask locality for TPI, moderate false sharing for HW). *)
+let jacobi1d ?(n = 256) ?(iters = 10) () =
+  program
+    [ array "a" [ n ]; array "b" [ n ] ]
+    [
+      proc "main" []
+        [
+          doall "i" (int 0) (int (n - 1)) [ s1 "a" (var "i") (var "i") ];
+          do_ "t" (int 0)
+            (int (iters - 1))
+            [
+              doall "i" (int 1)
+                (int (n - 2))
+                [ s1 "b" (var "i") ((a1 "a" (var "i" %- int 1) %+ a1 "a" (var "i" %+ int 1)) %/ int 2) ];
+              doall "i" (int 1) (int (n - 2)) [ s1 "a" (var "i") (a1 "b" (var "i")) ];
+            ];
+        ];
+    ]
+
+(** Dense matrix multiply with an outer parallel loop over rows; inner
+    accumulation rewrites each destination word [k] times (redundant write
+    traffic for write-through schemes). *)
+let matmul ?(n = 24) () =
+  program
+    [ array "ma" [ n; n ]; array "mb" [ n; n ]; array "mc" [ n; n ] ]
+    [
+      proc "main" []
+        [
+          doall "i" (int 0)
+            (int (n - 1))
+            [
+              do_ "j" (int 0)
+                (int (n - 1))
+                [
+                  s2 "ma" (var "i") (var "j") (var "i" %+ var "j");
+                  s2 "mb" (var "i") (var "j") (var "i" %- var "j");
+                ];
+            ];
+          doall "i" (int 0)
+            (int (n - 1))
+            [
+              do_ "j" (int 0)
+                (int (n - 1))
+                [
+                  s2 "mc" (var "i") (var "j") (int 0);
+                  do_ "k" (int 0)
+                    (int (n - 1))
+                    [
+                      s2 "mc" (var "i") (var "j")
+                        (a2 "mc" (var "i") (var "j")
+                        %+ (a2 "ma" (var "i") (var "k") %* a2 "mb" (var "k") (var "j")));
+                    ];
+                ];
+            ];
+        ];
+    ]
+
+(** Global sum via critical sections: exercises locks, bypass accesses and
+    the serialized-update path. *)
+let reduction ?(n = 128) () =
+  program
+    [ array "data" [ n ]; array "total" [ 1 ] ]
+    [
+      proc "main" []
+        [
+          doall "i" (int 0) (int (n - 1)) [ s1 "data" (var "i") (var "i" %% int 7) ];
+          s1 "total" (int 0) (int 0);
+          doall "i" (int 0)
+            (int (n - 1))
+            [ critical [ s1 "total" (int 0) (a1 "total" (int 0) %+ a1 "data" (var "i")) ] ];
+        ];
+    ]
+
+(** Transpose-style access: epoch 1 writes rows, epoch 2 reads columns —
+    misaligned reuse (TPI pays Time-Read misses, HW pays false sharing). *)
+let transpose ?(n = 32) () =
+  program
+    [ array "m" [ n; n ]; array "mt" [ n; n ] ]
+    [
+      proc "main" []
+        [
+          doall "i" (int 0)
+            (int (n - 1))
+            [ do_ "j" (int 0) (int (n - 1)) [ s2 "m" (var "i") (var "j") ((var "i" %* int n) %+ var "j") ] ];
+          doall "j" (int 0)
+            (int (n - 1))
+            [ do_ "i" (int 0) (int (n - 1)) [ s2 "mt" (var "j") (var "i") (a2 "m" (var "i") (var "j")) ] ];
+        ];
+    ]
+
+(** Indirect (gather) access through a runtime permutation the compiler
+    cannot analyze: forces whole-array conservative sections. *)
+let gather ?(n = 128) ?(iters = 4) () =
+  program
+    [ array "src" [ n ]; array "dst" [ n ] ]
+    [
+      proc "main" []
+        [
+          doall "i" (int 0) (int (n - 1)) [ s1 "src" (var "i") (var "i") ];
+          do_ "t" (int 0)
+            (int (iters - 1))
+            [
+              doall "i" (int 0)
+                (int (n - 1))
+                [ s1 "dst" (var "i") (a1 "src" (blackbox "perm" [ var "i"; var "t" ] %% int n)) ];
+              doall "i" (int 0) (int (n - 1)) [ s1 "src" (var "i") (a1 "dst" (var "i") %+ int 1) ];
+            ];
+        ];
+    ]
+
+(** Procedure-heavy workload: the stencil body lives in callees, exercising
+    the interprocedural analysis (summaries, entry/exit allowances). *)
+let procedural ?(n = 128) ?(iters = 4) () =
+  program
+    [ array "u" [ n ]; array "v" [ n ] ]
+    [
+      proc "init" []
+        [ doall "i" (int 0) (int (n - 1)) [ s1 "u" (var "i") (var "i"); s1 "v" (var "i") (int 0) ] ];
+      proc "smooth" [ "lo"; "hi" ]
+        [
+          doall "i" (var "lo") (var "hi")
+            [ s1 "v" (var "i") ((a1 "u" (var "i" %- int 1) %+ a1 "u" (var "i" %+ int 1)) %/ int 2) ];
+          doall "i" (var "lo") (var "hi") [ s1 "u" (var "i") (a1 "v" (var "i")) ];
+        ];
+      proc "main" []
+        [
+          call "init" [];
+          do_ "t" (int 0) (int (iters - 1)) [ call "smooth" [ int 1; int (n - 2) ] ];
+        ];
+    ]
+
+(** Mostly-private computation with a small shared boundary exchange: the
+    favourable case for every caching scheme. *)
+let boundary_exchange ?(n = 256) ?(iters = 8) () =
+  let chunk = 16 in
+  program
+    [ array "grid" [ n ]; array "halo" [ n / chunk ] ]
+    [
+      proc "main" []
+        [
+          doall "i" (int 0) (int (n - 1)) [ s1 "grid" (var "i") (var "i" %% int 9) ];
+          do_ "t" (int 0)
+            (int (iters - 1))
+            [
+              (* each task publishes its chunk boundary *)
+              doall "c" (int 0)
+                (int ((n / chunk) - 1))
+                [ s1 "halo" (var "c") (a1 "grid" ((var "c" %* int chunk) %+ int (chunk - 1))) ];
+              (* then updates its chunk reading the left neighbour's halo *)
+              doall "c" (int 1)
+                (int ((n / chunk) - 1))
+                [
+                  do_ "j" (int 0)
+                    (int (chunk - 1))
+                    [
+                      s1 "grid"
+                        ((var "c" %* int chunk) %+ var "j")
+                        (a1 "grid" ((var "c" %* int chunk) %+ var "j")
+                        %+ a1 "halo" (var "c" %- int 1));
+                    ];
+                ];
+            ];
+        ];
+    ]
+
+(** Red-black Gauss-Seidel: alternating strided (color) half-sweeps; the
+    compiler's strided sections prove the colors disjoint, so each color's
+    reads of the other color are exactly one epoch old. *)
+let redblack ?(n = 256) ?(iters = 6) () =
+  let half_sweep color =
+    doall "i" (int 1) (int ((n - 2 - color + 1) / 2))
+      [
+        assign "j" ((var "i" %* int 2) %- int (1 - color));
+        s1 "g" (var "j") ((a1 "g" (var "j" %- int 1) %+ a1 "g" (var "j" %+ int 1)) %/ int 2);
+      ]
+  in
+  program
+    [ array "g" [ n ] ]
+    [
+      proc "main" []
+        [
+          doall "i" (int 0) (int (n - 1)) [ s1 "g" (var "i") (var "i" %% int 17) ];
+          do_ "t" (int 0) (int (iters - 1)) [ half_sweep 0; half_sweep 1 ];
+        ];
+    ]
+
+(** Log-depth parallel prefix sum: epoch k adds the element 2^k to the
+    left; the read distance to the previous epoch's writes is constant but
+    the section offset doubles each epoch. *)
+let prefix_scan ?(n = 128) () =
+  let steps =
+    let rec go s acc = if s >= n then List.rev acc else go (s * 2) (s :: acc) in
+    go 1 []
+  in
+  program
+    [ array "x" [ n ]; array "y" [ n ] ]
+    [
+      proc "main" []
+        ([ doall "i" (int 0) (int (n - 1)) [ s1 "x" (var "i") (int 1) ] ]
+        @ List.concat_map
+            (fun s ->
+              [
+                doall "i" (int s)
+                  (int (n - 1))
+                  [ s1 "y" (var "i") (a1 "x" (var "i") %+ a1 "x" (var "i" %- int s)) ];
+                doall "i" (int s) (int (n - 1)) [ s1 "x" (var "i") (a1 "y" (var "i")) ];
+              ])
+            steps)
+    ]
+
+let all : (string * (unit -> Hscd_lang.Ast.program)) list =
+  [
+    ("jacobi1d", fun () -> jacobi1d ());
+    ("matmul", fun () -> matmul ());
+    ("reduction", fun () -> reduction ());
+    ("transpose", fun () -> transpose ());
+    ("gather", fun () -> gather ());
+    ("procedural", fun () -> procedural ());
+    ("boundary_exchange", fun () -> boundary_exchange ());
+    ("redblack", fun () -> redblack ());
+    ("prefix_scan", fun () -> prefix_scan ());
+  ]

@@ -1,0 +1,61 @@
+(** OCEAN — 2-D ocean-basin circulation simulation (Perfect Club).
+
+    The dominant phases are relaxation sweeps over the stream-function
+    grid (row-partitioned, aligned between epochs) interleaved with
+    vertical (column-order) passes for the boundary currents and the
+    Fourier steps. The column passes read data the row sweeps produced on
+    other processors — intertask communication that costs TPI Time-Read
+    misses and gives the HW scheme line-grain false sharing. *)
+
+open Hscd_lang.Builder
+
+let default_n = 48
+let default_steps = 4
+
+let build ?(n = default_n) ?(steps = default_steps) () =
+  program
+    [ array "psi" [ n; n ]; array "tmp" [ n; n ]; array "cur" [ n ] ]
+    [
+      proc "main" []
+        [
+          doall "i" (int 0)
+            (int (n - 1))
+            [ do_ "j" (int 0) (int (n - 1)) [ s2 "psi" (var "i") (var "j") ((var "i" %+ var "j") %% int 13) ] ];
+          do_ "t" (int 0)
+            (int (steps - 1))
+            [
+              (* row-partitioned relaxation (aligned) *)
+              doall "i" (int 1)
+                (int (n - 2))
+                [
+                  do_ "j" (int 1)
+                    (int (n - 2))
+                    [
+                      s2 "tmp" (var "i") (var "j")
+                        ((a2 "psi" (var "i" %- int 1) (var "j")
+                         %+ a2 "psi" (var "i" %+ int 1) (var "j")
+                         %+ a2 "psi" (var "i") (var "j" %- int 1)
+                         %+ a2 "psi" (var "i") (var "j" %+ int 1))
+                        %/ int 4);
+                      work 3;
+                    ];
+                ];
+              doall "i" (int 1) (int (n - 2))
+                [ do_ "j" (int 1) (int (n - 2)) [ s2 "psi" (var "i") (var "j") (a2 "tmp" (var "i") (var "j")) ] ];
+              (* column-order boundary-current pass: tasks own columns and
+                 read row-major data written by other processors *)
+              doall "j" (int 0)
+                (int (n - 1))
+                [
+                  s1 "cur" (var "j") (int 0);
+                  do_ "i" (int 0)
+                    (int (n - 1))
+                    [ s1 "cur" (var "j") (a1 "cur" (var "j") %+ a2 "psi" (var "i") (var "j")); work 1 ];
+                ];
+              (* currents feed back into the western boundary rows *)
+              doall "i" (int 1)
+                (int (n - 2))
+                [ s2 "psi" (var "i") (int 0) ((a1 "cur" (var "i") %+ a2 "psi" (var "i") (int 1)) %% int 100003) ];
+            ];
+        ];
+    ]

@@ -1,0 +1,60 @@
+(** QCD2 — lattice-gauge-theory simulation (Perfect Club).
+
+    Each sweep updates every link of a lattice from "staples" built out of
+    neighbouring links, found through neighbour *tables*: the subscripts
+    are table lookups the compiler cannot analyze (our [blackbox]),
+    forcing whole-array conservative sections — the paper singles QCD2 out
+    as a program whose reads like [X(f(i))] defeat static analysis, and
+    its HW miss latency rises from dirty recalls on the scattered link
+    updates. The update is double-buffered (new links into [unew], then an
+    aligned copy-back), which is how the real code stays race-free across
+    a sweep. *)
+
+open Hscd_lang.Builder
+
+let default_sites = 192
+let default_dirs = 4
+let default_sweeps = 3
+
+let build ?(sites = default_sites) ?(dirs = default_dirs) ?(sweeps = default_sweeps) () =
+  program
+    [ array "u" [ sites; dirs ]; array "unew" [ sites; dirs ] ]
+    [
+      proc "main" []
+        [
+          doall "s" (int 0)
+            (int (sites - 1))
+            [ do_ "mu" (int 0) (int (dirs - 1)) [ s2 "u" (var "s") (var "mu") ((var "s" %* int 7) %+ var "mu") ] ];
+          do_ "t" (int 0)
+            (int (sweeps - 1))
+            [
+              doall "s" (int 0)
+                (int (sites - 1))
+                [
+                  do_ "mu" (int 0)
+                    (int (dirs - 1))
+                    [
+                      (* staple: product of links at table-driven neighbour
+                         sites — statically opaque subscripts *)
+                      assign "acc" (int 1);
+                      do_ "nu" (int 0)
+                        (int (dirs - 1))
+                        [
+                          assign "acc"
+                            (var "acc"
+                            %+ a2 "u"
+                                 (blackbox "nbr" [ var "s"; var "mu"; var "nu"; var "t" ] %% int sites)
+                                 (var "nu"));
+                          work 6;
+                        ];
+                      s2 "unew" (var "s") (var "mu")
+                        ((a2 "u" (var "s") (var "mu") %+ var "acc") %% int 1000003);
+                    ];
+                ];
+              (* aligned copy-back of the updated gauge field *)
+              doall "s" (int 0)
+                (int (sites - 1))
+                [ do_ "mu" (int 0) (int (dirs - 1)) [ s2 "u" (var "s") (var "mu") (a2 "unew" (var "s") (var "mu")) ] ];
+            ];
+        ];
+    ]

@@ -1,0 +1,62 @@
+(** SPEC77 — spectral atmospheric flow model (Perfect Club).
+
+    The time step alternates grid-space physics (aligned sweeps) with
+    spectral transforms. The transform's butterfly subscripts involve
+    division and modulus by the stage stride, which our symbolic analysis
+    (like any affine framework) cannot bound — so the transform reads get
+    conservative whole-array sections, while the physics sweeps stay
+    aligned. That mixture (mostly well-behaved, punctuated by conservative
+    epochs) is what makes SPEC77 land between the stencil codes and QCD2. *)
+
+open Hscd_lang.Builder
+
+(* spectral length; must be a power of two *)
+let default_n = 256
+let default_steps = 2
+
+let log2 n =
+  let rec go n acc = if n <= 1 then acc else go (n / 2) (acc + 1) in
+  go n 0
+
+let build ?(n = default_n) ?(steps = default_steps) () =
+  let stages = log2 n in
+  program
+    [ array "sig_re" [ n ]; array "buf" [ n ]; array "grid" [ n ] ]
+    [
+      proc "main" []
+        [
+          doall "i" (int 0) (int (n - 1)) [ s1 "sig_re" (var "i") (var "i" %% int 31); s1 "grid" (var "i") (int 0) ];
+          do_ "t" (int 0)
+            (int (steps - 1))
+            [
+              (* grid-space physics: aligned pointwise update *)
+              doall "i" (int 0)
+                (int (n - 1))
+                [ s1 "grid" (var "i") ((a1 "grid" (var "i") %+ a1 "sig_re" (var "i")) %% int 65537); work 5 ];
+              doall "i" (int 0) (int (n - 1)) [ s1 "sig_re" (var "i") (a1 "grid" (var "i")) ];
+              (* spectral transform: butterfly stages with div/mod
+                 subscripts (statically unbounded) *)
+              do_ "s" (int 0)
+                (int (stages - 1))
+                [
+                  doall "k" (int 0)
+                    (int ((n / 2) - 1))
+                    [
+                      assign "half" (blackbox "stride" [ var "s" ] %% int (n / 2) %+ int 1);
+                      assign "blk" (var "k" %/ var "half");
+                      assign "pos" ((var "blk" %* (var "half" %* int 2)) %+ (var "k" %% var "half"));
+                      s1 "buf" (var "k")
+                        ((a1 "sig_re" (var "pos" %% int n) %+ a1 "sig_re" ((var "pos" %+ var "half") %% int n))
+                        %% int 65537);
+                      work 4;
+                    ];
+                  doall "k" (int 0)
+                    (int ((n / 2) - 1))
+                    [
+                      s1 "sig_re" (var "k") (a1 "buf" (var "k"));
+                      s1 "sig_re" (var "k" %+ int (n / 2)) (a1 "buf" (var "k") %% int 257);
+                    ];
+                ];
+            ];
+        ];
+    ]

@@ -1,0 +1,60 @@
+(** TRFD — two-electron integral transformation (Perfect Club).
+
+    The real code is dominated by repeated matrix products over triangular
+    index spaces in which each destination element is rewritten once per
+    accumulation step. That re-writing is what makes TRFD the paper's
+    write-traffic outlier for TPI (write-through sends every redundant
+    store to memory unless the write buffer is organized as a write
+    cache). The synthetic kernel keeps exactly that structure: two passes
+    of a triangular product with inner-loop accumulation, plus an aligned
+    copy-back. *)
+
+open Hscd_lang.Builder
+
+let default_n = 24
+let default_passes = 2
+
+let build ?(n = default_n) ?(passes = default_passes) () =
+  program
+    [ array "x" [ n; n ]; array "v" [ n; n ]; array "w" [ n; n ] ]
+    [
+      proc "main" []
+        [
+          doall "i" (int 0)
+            (int (n - 1))
+            [
+              do_ "j" (int 0)
+                (int (n - 1))
+                [
+                  s2 "x" (var "i") (var "j") ((var "i" %* int 3) %+ var "j");
+                  s2 "v" (var "i") (var "j") (var "i" %+ (var "j" %* int 2));
+                ];
+            ];
+          do_ "t" (int 0)
+            (int (passes - 1))
+            [
+              (* triangular product with per-element accumulation: w(i,j) is
+                 rewritten n times — the redundant-write pattern *)
+              doall "i" (int 0)
+                (int (n - 1))
+                [
+                  do_ "j" (int 0) (var "i")
+                    [
+                      s2 "w" (var "i") (var "j") (int 0);
+                      do_ "k" (int 0)
+                        (int (n - 1))
+                        [
+                          s2 "w" (var "i") (var "j")
+                            (a2 "w" (var "i") (var "j")
+                            %+ (a2 "x" (var "i") (var "k") %* a2 "v" (var "k") (var "j")));
+                          work 2;
+                        ];
+                    ];
+                ];
+              (* aligned copy-back into the transformed basis *)
+              doall "i" (int 0)
+                (int (n - 1))
+                [ do_ "j" (int 0) (var "i") [ s2 "x" (var "i") (var "j") (a2 "w" (var "i") (var "j") %% int 1000003) ] ];
+            ];
+        ];
+    ]

@@ -1,0 +1,1 @@
+test/test_cache_net.ml: Alcotest Array Hscd_arch Hscd_cache Hscd_network List QCheck QCheck_alcotest

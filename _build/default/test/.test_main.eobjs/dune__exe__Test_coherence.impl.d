@@ -1,0 +1,1 @@
+test/test_coherence.ml: Alcotest Array Fmt Hscd_arch Hscd_coherence Hscd_network List QCheck QCheck_alcotest

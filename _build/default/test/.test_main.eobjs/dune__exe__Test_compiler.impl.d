@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Hscd_compiler Hscd_lang List Option String

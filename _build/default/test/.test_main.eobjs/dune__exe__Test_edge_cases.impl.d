@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Hscd_arch Hscd_coherence Hscd_lang Hscd_sim Hscd_workloads List Printf String

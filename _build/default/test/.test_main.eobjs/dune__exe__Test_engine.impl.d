@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Hscd_arch Hscd_lang Hscd_sim Hscd_workloads List

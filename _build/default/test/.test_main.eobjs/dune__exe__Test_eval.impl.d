@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Fun Hscd_lang Hscd_workloads List

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Hscd_experiments Hscd_sim Hscd_util List

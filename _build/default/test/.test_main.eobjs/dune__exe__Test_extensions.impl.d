@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Fmt Hscd_arch Hscd_coherence Hscd_network Hscd_sim Hscd_workloads List

@@ -1,0 +1,1 @@
+test/test_hw_invariants.ml: Array Hscd_arch Hscd_cache Hscd_coherence Hscd_network Hscd_util List Printf QCheck QCheck_alcotest String

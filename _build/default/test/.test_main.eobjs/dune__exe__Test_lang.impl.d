@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Fmt Hscd_lang Hscd_workloads List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_marking.ml: Alcotest Fmt Hscd_compiler Hscd_lang Hscd_workloads List Printf

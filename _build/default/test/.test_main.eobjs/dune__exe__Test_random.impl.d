@@ -1,0 +1,1 @@
+test/test_random.ml: Hscd_arch Hscd_lang Hscd_sim List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sections.ml: Alcotest Hscd_compiler List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_stats_report.ml: Alcotest Hscd_arch Hscd_compiler Hscd_lang Hscd_sim Hscd_workloads List String

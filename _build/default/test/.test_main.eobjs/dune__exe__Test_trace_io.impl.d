@@ -1,0 +1,1 @@
+test/test_trace_io.ml: Alcotest Filename Hscd_arch Hscd_sim Hscd_workloads List Sys

@@ -1,0 +1,217 @@
+(** Tests for the compiler middle layers: GSA symbolic analysis,
+    segmentation, call graph and the epoch flow graph distances. *)
+
+module Ast = Hscd_lang.Ast
+module Sema = Hscd_lang.Sema
+module B = Hscd_lang.Builder
+module Affine = Hscd_compiler.Affine
+module Gsa = Hscd_compiler.Gsa
+module Segment = Hscd_compiler.Segment
+module Callgraph = Hscd_compiler.Callgraph
+module Epochgraph = Hscd_compiler.Epochgraph
+module Analysis = Hscd_compiler.Analysis
+module Sint = Hscd_compiler.Sections.Sint
+
+(* --- GSA --- *)
+
+let ctx_with_loop ?(parallel = false) index lo hi =
+  Gsa.push_loop Gsa.empty_ctx
+    { Gsa.index; lo = Affine.const lo; hi = Affine.const hi; parallel }
+
+let test_expr_to_affine () =
+  let ctx = Gsa.bind (ctx_with_loop "i" 0 9) "x" (Affine.var ~coef:2 "i") in
+  let aff = Gsa.expr_to_affine ctx B.(var "x" %+ var "i" %+ int 3) in
+  Alcotest.(check int) "coef i" 3 (Affine.coef_of "i" aff);
+  Alcotest.(check bool) "eval" true (Affine.eval [ ("i", 2) ] aff = Some 9);
+  (* division produces unknown *)
+  Alcotest.(check bool) "div unknown" true
+    (Gsa.expr_to_affine ctx B.(var "i" %/ int 2) = Affine.unknown);
+  (* array reads are opaque *)
+  Alcotest.(check bool) "aref unknown" true
+    (Gsa.expr_to_affine ctx (B.a1 "a" (B.var "i")) = Affine.unknown)
+
+let test_gamma () =
+  let base = Gsa.bind Gsa.empty_ctx "x" (Affine.const 1) in
+  let a = Gsa.bind base "x" (Affine.const 2) in
+  let b = Gsa.bind base "x" (Affine.const 2) in
+  let merged = Gsa.gamma base a b in
+  Alcotest.(check bool) "equal kept" true (Affine.equal (Gsa.lookup merged "x") (Affine.const 2));
+  let c = Gsa.bind base "x" (Affine.const 3) in
+  let merged2 = Gsa.gamma base a c in
+  Alcotest.(check bool) "diverging lost" true (Gsa.lookup merged2 "x" = Affine.unknown)
+
+let test_widen_subscript () =
+  let ctx = ctx_with_loop "i" 0 9 in
+  (* 2*i over i in [0,9], dim 32: {0..18 step 2} *)
+  (match Gsa.widen_subscript ctx ~dim:32 (Affine.var ~coef:2 "i") with
+  | Some s ->
+    Alcotest.(check bool) "stride kept" true (Sint.mem 18 s && not (Sint.mem 17 s));
+    Alcotest.(check bool) "clipped" true (s.Sint.lo = 0 && s.Sint.hi = 18)
+  | None -> Alcotest.fail "non-empty expected");
+  (* unknown range keeps congruence class: 2*k+1 with unbounded k *)
+  let ctx2 = Gsa.push_loop Gsa.empty_ctx
+      { Gsa.index = "k"; lo = Affine.unknown; hi = Affine.unknown; parallel = false } in
+  (match Gsa.widen_subscript ctx2 ~dim:8 (Affine.add (Affine.var ~coef:2 "k") (Affine.const 1)) with
+  | Some s -> Alcotest.(check bool) "odd congruence" true (Sint.mem 7 s && not (Sint.mem 6 s))
+  | None -> Alcotest.fail "non-empty expected");
+  (* provably out of range *)
+  Alcotest.(check bool) "empty when out of dim" true
+    (Gsa.widen_subscript (ctx_with_loop "i" 10 12) ~dim:4 (Affine.var "i") = None)
+
+let test_anchor () =
+  let ctx = ctx_with_loop ~parallel:true "i" 0 15 in
+  let ctx = Gsa.push_loop ctx { Gsa.index = "j"; lo = Affine.const 0; hi = Affine.const 7; parallel = false } in
+  (match Gsa.anchor_of_reference ctx [ B.(var "i" %+ int 1); B.var "j" ] with
+  | Some a ->
+    Alcotest.(check int) "dim" 0 a.Gsa.anchor_dim;
+    Alcotest.(check int) "coef" 1 a.Gsa.coef;
+    Alcotest.(check bool) "off" true (Affine.equal a.Gsa.off (Affine.const 1))
+  | None -> Alcotest.fail "anchor expected");
+  (* subscript mixing the doall index with an inner loop index cannot anchor
+     on that dim *)
+  Alcotest.(check bool) "mixed subscript no anchor" true
+    (Gsa.anchor_of_reference ctx [ B.(var "i" %+ var "j") ] = None);
+  (* no anchor outside a doall *)
+  Alcotest.(check bool) "serial no anchor" true
+    (Gsa.anchor_of_reference (ctx_with_loop "i" 0 3) [ B.var "i" ] = None)
+
+(* --- segmentation --- *)
+
+let seg_of program =
+  let program = Sema.check_exn program in
+  let cg = Callgraph.build program in
+  let calls_epochs = Callgraph.contains_epochs cg in
+  let main = Option.get (Ast.find_proc program program.entry) in
+  (Segment.of_stmts ~calls_epochs main.body, main.body)
+
+let test_segment_shapes () =
+  let p =
+    B.simple [ B.array "a" [ 8 ] ]
+      [
+        B.assign "x" (B.int 0);
+        B.doall "i" (B.int 0) (B.int 7) [ B.s1 "a" (B.var "i") (B.int 1) ];
+        B.assign "y" (B.int 1);
+        B.do_ "t" (B.int 0) (B.int 3)
+          [ B.doall "i" (B.int 0) (B.int 7) [ B.s1 "a" (B.var "i") (B.var "t") ] ];
+      ]
+  in
+  let ir, original = seg_of p in
+  (match ir with
+  | [ Segment.USerial [ Ast.Assign _ ]; Segment.UPar _; Segment.USerial [ Ast.Assign _ ];
+      Segment.UDo (_, [ Segment.UPar _ ]) ] -> ()
+  | _ -> Alcotest.fail "unexpected segmentation shape");
+  (* reconstruction is the identity *)
+  Alcotest.(check bool) "roundtrip" true (Segment.to_stmts ir = original)
+
+let test_segment_epoch_free_do_stays_serial () =
+  let p =
+    B.simple [ B.array "a" [ 8 ] ]
+      [ B.do_ "i" (B.int 0) (B.int 7) [ B.s1 "a" (B.var "i") (B.int 1) ] ]
+  in
+  match fst (seg_of p) with
+  | [ Segment.USerial [ Ast.Do _ ] ] -> ()
+  | _ -> Alcotest.fail "epoch-free do should stay inside a serial unit"
+
+let test_segment_if_with_epochs () =
+  let p =
+    B.simple [ B.array "a" [ 8 ] ]
+      [
+        B.assign "c" (B.int 1);
+        B.if_ B.(var "c" %> int 0)
+          [ B.doall "i" (B.int 0) (B.int 7) [ B.s1 "a" (B.var "i") (B.int 1) ] ]
+          [ B.assign "d" (B.int 2) ];
+      ]
+  in
+  match fst (seg_of p) with
+  | [ Segment.USerial _; Segment.UIf (_, [ Segment.UPar _ ], [ Segment.USerial _ ]) ] -> ()
+  | _ -> Alcotest.fail "if containing epochs should become UIf"
+
+(* --- call graph --- *)
+
+let test_callgraph () =
+  let p =
+    B.program
+      [ B.array "a" [ 4 ] ]
+      [
+        B.proc "leaf" [] [ B.s1 "a" (B.int 0) (B.int 1) ];
+        B.proc "mid" [] [ B.call "leaf" [] ];
+        B.proc "par" [] [ B.doall "i" (B.int 0) (B.int 3) [ B.s1 "a" (B.var "i") (B.int 2) ] ];
+        B.proc "main" [] [ B.call "mid" []; B.call "par" [] ];
+      ]
+  in
+  let p = Sema.check_exn p in
+  let cg = Callgraph.build p in
+  let pos name = Option.get (List.find_index (String.equal name) cg.bottom_up) in
+  Alcotest.(check bool) "leaf before mid" true (pos "leaf" < pos "mid");
+  Alcotest.(check bool) "mid before main" true (pos "mid" < pos "main");
+  let has_epochs = Callgraph.contains_epochs cg in
+  Alcotest.(check bool) "par has epochs" true (has_epochs "par");
+  Alcotest.(check bool) "main inherits epochs" true (has_epochs "main");
+  Alcotest.(check bool) "leaf has none" false (has_epochs "leaf");
+  let sites = Callgraph.call_sites cg in
+  Alcotest.(check (list (pair string bool))) "leaf sites" [ ("mid", false) ] (sites "leaf")
+
+(* --- epoch graph distances --- *)
+
+(* Build the analysis for a program and return the graph for main. *)
+let graph_of program =
+  let program = Sema.check_exn program in
+  let t = Analysis.analyze program in
+  (t, Option.get (Analysis.find_proc_analysis t "main"))
+
+let test_min_boundaries () =
+  (* two doalls in sequence: at least 4 boundaries entry->exit *)
+  let p =
+    B.simple [ B.array "a" [ 8 ] ]
+      [
+        B.doall "i" (B.int 0) (B.int 7) [ B.s1 "a" (B.var "i") (B.int 1) ];
+        B.doall "i" (B.int 0) (B.int 7) [ B.s1 "a" (B.var "i") (B.int 2) ];
+      ]
+  in
+  let _, pa = graph_of p in
+  Alcotest.(check int) "min boundaries" 4 pa.Analysis.summary.Epochgraph.min_boundaries
+
+let test_min_boundaries_branch () =
+  (* a doall under an if may be skipped: minimum is 0 *)
+  let p =
+    B.simple [ B.array "a" [ 8 ] ]
+      [
+        B.assign "c" (B.int 0);
+        B.if_ B.(var "c" %> int 0)
+          [ B.doall "i" (B.int 0) (B.int 7) [ B.s1 "a" (B.var "i") (B.int 1) ] ]
+          [];
+      ]
+  in
+  let _, pa = graph_of p in
+  Alcotest.(check int) "skippable" 0 pa.Analysis.summary.Epochgraph.min_boundaries
+
+let test_mod_summary () =
+  let p =
+    B.program
+      [ B.array "a" [ 8 ]; B.array "b" [ 8 ] ]
+      [
+        B.proc "writer" [] [ B.doall "i" (B.int 0) (B.int 7) [ B.s1 "a" (B.var "i") (B.int 1) ] ];
+        B.proc "main" [] [ B.call "writer" []; B.s1 "b" (B.int 0) (B.int 2) ];
+      ]
+  in
+  let t, _ = graph_of p in
+  let writer = Option.get (Analysis.find_proc_analysis t "writer") in
+  Alcotest.(check bool) "writer mods a" true
+    (Hscd_compiler.Sections.Map.find writer.Analysis.summary.Epochgraph.mod_map "a" <> None);
+  Alcotest.(check bool) "writer does not mod b" true
+    (Hscd_compiler.Sections.Map.find writer.Analysis.summary.Epochgraph.mod_map "b" = None)
+
+let suite =
+  [
+    Alcotest.test_case "expr_to_affine" `Quick test_expr_to_affine;
+    Alcotest.test_case "gamma merge" `Quick test_gamma;
+    Alcotest.test_case "widen subscript" `Quick test_widen_subscript;
+    Alcotest.test_case "anchors" `Quick test_anchor;
+    Alcotest.test_case "segment shapes" `Quick test_segment_shapes;
+    Alcotest.test_case "epoch-free do" `Quick test_segment_epoch_free_do_stays_serial;
+    Alcotest.test_case "if with epochs" `Quick test_segment_if_with_epochs;
+    Alcotest.test_case "call graph" `Quick test_callgraph;
+    Alcotest.test_case "min boundaries" `Quick test_min_boundaries;
+    Alcotest.test_case "min boundaries branch" `Quick test_min_boundaries_branch;
+    Alcotest.test_case "mod summaries" `Quick test_mod_summary;
+  ]

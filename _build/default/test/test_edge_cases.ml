@@ -1,0 +1,116 @@
+(** Edge cases across layers: degenerate programs, extreme configurations,
+    empty structures. *)
+
+module Ast = Hscd_lang.Ast
+module B = Hscd_lang.Builder
+module Sema = Hscd_lang.Sema
+module Eval = Hscd_lang.Eval
+module Parser = Hscd_lang.Parser
+module Config = Hscd_arch.Config
+module Run = Hscd_sim.Run
+module Trace = Hscd_sim.Trace
+module Metrics = Hscd_sim.Metrics
+
+let test_empty_program () =
+  (* no arrays, no statements: compiles and simulates to ~nothing *)
+  let p = B.program [] [ B.proc "main" [] [] ] in
+  let c, results = Run.compare p in
+  Alcotest.(check int) "one serial epoch" 1 (Trace.n_epochs c.trace);
+  List.iter
+    (fun (r : Run.comparison) ->
+      Alcotest.(check int) "no accesses" 0 (Metrics.accesses r.result.metrics);
+      Alcotest.(check bool) "memory trivially ok" true r.result.memory_ok)
+    results
+
+let test_single_iteration_doall () =
+  let p = B.simple [ B.array "a" [ 4 ] ] [ B.doall "i" (B.int 2) (B.int 2) [ B.s1 "a" (B.var "i") (B.int 9) ] ] in
+  let r = Eval.run (Sema.check_exn p) in
+  Alcotest.(check int) "wrote once" 9 (Eval.peek r "a" [ 2 ])
+
+let test_empty_doall () =
+  (* lo > hi: zero tasks, but still an epoch boundary *)
+  let p = B.simple [ B.array "a" [ 4 ] ] [ B.doall "i" (B.int 3) (B.int 1) [ B.s1 "a" (B.var "i") (B.int 9) ] ] in
+  let c = Run.compile p in
+  Alcotest.(check int) "three epochs" 3 (Trace.n_epochs c.trace);
+  let r = Run.simulate Run.TPI c.trace in
+  Alcotest.(check bool) "simulates fine" true r.memory_ok
+
+let test_one_processor () =
+  let cfg = { Config.default with processors = 1 } in
+  let _, results = Run.compare ~cfg (Hscd_workloads.Kernels.jacobi1d ~n:32 ~iters:2 ()) in
+  List.iter
+    (fun (r : Run.comparison) ->
+      Alcotest.(check int) (Run.scheme_name r.kind) 0 r.result.metrics.violations;
+      (* with one processor there is no remote writer: HW sees no sharing *)
+      if r.kind = Run.HW then
+        Alcotest.(check int) "no sharing misses" 0
+          (Metrics.class_count r.result.metrics Hscd_coherence.Scheme.True_sharing
+          + Metrics.class_count r.result.metrics Hscd_coherence.Scheme.False_sharing))
+    results
+
+let test_more_processors_than_tasks () =
+  let cfg = { Config.default with processors = 16 } in
+  let p = B.simple [ B.array "a" [ 4 ] ] [ B.doall "i" (B.int 0) (B.int 3) [ B.s1 "a" (B.var "i") (B.var "i") ] ] in
+  let _, r = Run.run_source ~cfg Run.TPI p in
+  Alcotest.(check int) "coherent" 0 r.metrics.violations
+
+let test_single_word_lines () =
+  (* 1-word lines: no spatial locality, no false sharing possible *)
+  let cfg = { Config.default with line_words = 1 } in
+  let _, results = Run.compare ~cfg (Hscd_workloads.Kernels.transpose ~n:16 ()) in
+  List.iter
+    (fun (r : Run.comparison) ->
+      Alcotest.(check int) (Run.scheme_name r.kind) 0 r.result.metrics.violations;
+      Alcotest.(check int)
+        (Run.scheme_name r.kind ^ " no false sharing")
+        0
+        (Metrics.class_count r.result.metrics Hscd_coherence.Scheme.False_sharing))
+    results
+
+let test_deep_call_chain () =
+  (* a -> b -> c -> d with the epochs at the bottom: interprocedural
+     summaries must compose through several levels *)
+  let p =
+    B.program
+      [ B.array "x" [ 16 ]; B.array "y" [ 16 ] ]
+      [
+        B.proc "d" [] [ B.doall "i" (B.int 0) (B.int 15) [ B.s1 "x" (B.var "i") (B.var "i") ] ];
+        B.proc "c" [] [ B.call "d" [] ];
+        B.proc "b" [] [ B.call "c" [] ];
+        B.proc "main" []
+          [
+            B.call "b" [];
+            B.doall "i" (B.int 1)
+              (B.int 14)
+              [ B.s1 "y" (B.var "i") B.(a1 "x" (var "i" %- int 1) %+ int 1) ];
+          ];
+      ]
+  in
+  let _, r = Run.run_source Run.TPI p in
+  Alcotest.(check int) "coherent through the chain" 0 r.metrics.violations;
+  Alcotest.(check bool) "memory" true r.memory_ok
+
+let test_parse_deeply_nested () =
+  let src =
+    "array a[2]\nproc main()\n"
+    ^ String.concat "" (List.init 18 (fun i -> Printf.sprintf "do v%d = 0, 1\n" i))
+    ^ "a[0] = a[0] + 1\n"
+    ^ String.concat "" (List.init 18 (fun _ -> "end\n"))
+    ^ "end"
+  in
+  let p = Sema.check_exn (Parser.parse_exn src) in
+  let r = Eval.run p in
+  (* 18 nested two-trip loops: the innermost body runs 2^18 times *)
+  Alcotest.(check int) "iteration product" (1 lsl 18) (Eval.peek r "a" [ 0 ])
+
+let suite =
+  [
+    Alcotest.test_case "empty program" `Quick test_empty_program;
+    Alcotest.test_case "single-iteration doall" `Quick test_single_iteration_doall;
+    Alcotest.test_case "empty doall" `Quick test_empty_doall;
+    Alcotest.test_case "one processor" `Quick test_one_processor;
+    Alcotest.test_case "more processors than tasks" `Quick test_more_processors_than_tasks;
+    Alcotest.test_case "single-word lines" `Quick test_single_word_lines;
+    Alcotest.test_case "deep call chain" `Quick test_deep_call_chain;
+    Alcotest.test_case "parse deeply nested" `Quick test_parse_deeply_nested;
+  ]

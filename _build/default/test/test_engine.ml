@@ -1,0 +1,161 @@
+(** Tests of the timing engine and the end-to-end Run pipeline: barriers,
+    lock ordering, scheduling policies, and — crucially — that the golden
+    value checker actually catches unsafe compiler marks. *)
+
+module Ast = Hscd_lang.Ast
+module Sema = Hscd_lang.Sema
+module B = Hscd_lang.Builder
+module Config = Hscd_arch.Config
+module Run = Hscd_sim.Run
+module Trace = Hscd_sim.Trace
+module Metrics = Hscd_sim.Metrics
+module Engine = Hscd_sim.Engine
+
+let cfg4 = { Config.default with processors = 4 }
+
+let stencil = Hscd_workloads.Kernels.jacobi1d ~n:64 ~iters:3 ()
+
+let test_all_schemes_coherent () =
+  let _, results = Run.compare ~cfg:cfg4 stencil in
+  List.iter
+    (fun (r : Run.comparison) ->
+      Alcotest.(check int)
+        (Run.scheme_name r.kind ^ " violations") 0 r.result.metrics.violations;
+      Alcotest.(check bool) (Run.scheme_name r.kind ^ " memory") true r.result.memory_ok)
+    results
+
+let test_base_miss_rate_is_total () =
+  let _, r = Run.run_source ~cfg:cfg4 Run.Base stencil in
+  Alcotest.(check (float 1e-9)) "all remote" 1.0 (Metrics.miss_rate r.metrics)
+
+let test_trace_shape () =
+  let c = Run.compile ~cfg:cfg4 stencil in
+  Alcotest.(check int) "epochs" (2 * 3 * 2 + 3) (Trace.n_epochs c.trace);
+  Alcotest.(check int) "parallel epochs" 7 (Trace.n_parallel_epochs c.trace);
+  let reads, writes = Trace.access_counts c.trace in
+  Alcotest.(check bool) "counts positive" true (reads > 0 && writes > 0)
+
+let test_unsafe_mark_is_caught () =
+  (* hand-mark a stale read with an over-generous distance: the stencil
+     reads a[i] written two boundaries ago but we claim d=9 after caching
+     it before the write; the checker must flag violations under TPI *)
+  let p =
+    B.program
+      [ B.array "a" [ 32 ]; B.array "b" [ 32 ] ]
+      [
+        B.proc "main" []
+          [
+            (* epoch P1: cache a[i] everywhere (reads) *)
+            B.doall "i" (B.int 0) (B.int 31)
+              [ B.s1 "b" (B.var "i") (Ast.Aref ("a", [ B.var "i" ], Ast.Normal_read)) ];
+            (* epoch P2: another processor rewrites a *)
+            B.doall "i" (B.int 0) (B.int 31)
+              [ Ast.Store ("a", [ B.(int 31 %- var "i") ], B.int 7, Ast.Normal_write) ];
+            (* epoch P3: read with a deliberately unsafe Time-Read(9) *)
+            B.doall "i" (B.int 0) (B.int 31)
+              [ B.s1 "b" (B.var "i") (Ast.Aref ("a", [ B.var "i" ], Ast.Time_read 9)) ];
+          ];
+      ]
+  in
+  let p = Sema.check_exn p in
+  let trace = Trace.of_program p in
+  let r = Run.simulate ~cfg:cfg4 Run.TPI trace in
+  Alcotest.(check bool) "violations detected" true (r.metrics.violations > 0)
+
+let test_safe_manual_marks_pass () =
+  (* same program with the correct d=1 mark: no violations *)
+  let p =
+    B.program
+      [ B.array "a" [ 32 ]; B.array "b" [ 32 ] ]
+      [
+        B.proc "main" []
+          [
+            B.doall "i" (B.int 0) (B.int 31)
+              [ B.s1 "b" (B.var "i") (Ast.Aref ("a", [ B.var "i" ], Ast.Normal_read)) ];
+            B.doall "i" (B.int 0) (B.int 31)
+              [ Ast.Store ("a", [ B.(int 31 %- var "i") ], B.int 7, Ast.Normal_write) ];
+            B.doall "i" (B.int 0) (B.int 31)
+              [ B.s1 "b" (B.var "i") (Ast.Aref ("a", [ B.var "i" ], Ast.Time_read 1)) ];
+          ];
+      ]
+  in
+  let p = Sema.check_exn p in
+  let r = Run.simulate ~cfg:cfg4 Run.TPI (Trace.of_program p) in
+  Alcotest.(check int) "no violations" 0 r.metrics.violations
+
+let test_scheduling_policies_coherent () =
+  List.iter
+    (fun scheduling ->
+      let cfg = { cfg4 with scheduling } in
+      let c, results = Run.compare ~cfg stencil in
+      ignore c;
+      List.iter
+        (fun (r : Run.comparison) ->
+          Alcotest.(check int)
+            (Config.scheduling_name scheduling ^ "/" ^ Run.scheme_name r.kind)
+            0 r.result.metrics.violations)
+        results)
+    [ Config.Block; Config.Cyclic; Config.Dynamic ]
+
+let test_dynamic_slower_or_equal_misses () =
+  (* self-scheduling destroys owner alignment: TPI misses cannot decrease *)
+  let block = Run.compare ~cfg:{ cfg4 with scheduling = Config.Block } stencil in
+  let dyn = Run.compare ~cfg:{ cfg4 with scheduling = Config.Dynamic } stencil in
+  let miss results kind =
+    Metrics.miss_rate
+      (List.find (fun (r : Run.comparison) -> r.kind = kind) (snd results)).result.metrics
+  in
+  Alcotest.(check bool) "dynamic >= block for TPI" true
+    (miss dyn Run.TPI >= miss block Run.TPI)
+
+let test_locks_serialize () =
+  let p = Hscd_workloads.Kernels.reduction ~n:32 () in
+  let c, results = Run.compare ~cfg:cfg4 p in
+  ignore c;
+  List.iter
+    (fun (r : Run.comparison) ->
+      Alcotest.(check int) (Run.scheme_name r.kind ^ " coherent") 0 r.result.metrics.violations;
+      Alcotest.(check bool) (Run.scheme_name r.kind ^ " memory") true r.result.memory_ok;
+      Alcotest.(check int) "32 lock acquisitions" 32 r.result.metrics.lock_acquires)
+    results
+
+let test_barrier_accounting () =
+  let c = Run.compile ~cfg:cfg4 stencil in
+  let r = Run.simulate ~cfg:cfg4 Run.TPI c.trace in
+  Alcotest.(check int) "one barrier per epoch" (Trace.n_epochs c.trace) r.metrics.barriers;
+  Alcotest.(check bool) "cycles at least barrier cost" true
+    (r.cycles >= Trace.n_epochs c.trace * cfg4.barrier_cycles)
+
+let test_more_processors_not_slower () =
+  let run p_count =
+    let cfg = { Config.default with processors = p_count } in
+    (snd (Run.run_source ~cfg Run.TPI (Hscd_workloads.Kernels.jacobi1d ~n:256 ~iters:4 ()))).cycles
+  in
+  let c1 = run 1 and c16 = run 16 in
+  Alcotest.(check bool) "parallel speedup" true (c16 < c1)
+
+let test_timetag_width_monotone () =
+  (* smaller tags cannot reduce TPI misses *)
+  let miss bits =
+    let cfg = { Config.default with timetag_bits = bits } in
+    let _, r = Run.run_source ~cfg Run.TPI (Hscd_workloads.Kernels.jacobi1d ~n:128 ~iters:20 ()) in
+    Alcotest.(check int) "coherent" 0 r.metrics.violations;
+    Metrics.read_misses r.metrics
+  in
+  let m2 = miss 2 and m8 = miss 8 in
+  Alcotest.(check bool) "2-bit tags miss at least as much" true (m2 >= m8)
+
+let suite =
+  [
+    Alcotest.test_case "all schemes coherent" `Quick test_all_schemes_coherent;
+    Alcotest.test_case "BASE misses everything" `Quick test_base_miss_rate_is_total;
+    Alcotest.test_case "trace shape" `Quick test_trace_shape;
+    Alcotest.test_case "unsafe mark caught" `Quick test_unsafe_mark_is_caught;
+    Alcotest.test_case "safe manual marks pass" `Quick test_safe_manual_marks_pass;
+    Alcotest.test_case "scheduling policies coherent" `Quick test_scheduling_policies_coherent;
+    Alcotest.test_case "dynamic loses alignment" `Quick test_dynamic_slower_or_equal_misses;
+    Alcotest.test_case "locks serialize" `Quick test_locks_serialize;
+    Alcotest.test_case "barrier accounting" `Quick test_barrier_accounting;
+    Alcotest.test_case "parallel speedup" `Quick test_more_processors_not_slower;
+    Alcotest.test_case "timetag width monotone" `Quick test_timetag_width_monotone;
+  ]

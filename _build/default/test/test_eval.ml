@@ -1,0 +1,214 @@
+(** Tests for the reference interpreter: semantics, epochs, scalar
+    privatization, critical sections, race detection, hooks. *)
+
+module Ast = Hscd_lang.Ast
+module Eval = Hscd_lang.Eval
+module Sema = Hscd_lang.Sema
+module B = Hscd_lang.Builder
+
+let run p = Eval.run (Sema.check_exn p)
+let peek = Eval.peek
+
+let test_arithmetic () =
+  let p =
+    B.simple [ B.array "a" [ 8 ] ]
+      [
+        B.s1 "a" (B.int 0) B.(int 7 %+ (int 3 %* int 4));
+        B.s1 "a" (B.int 1) B.(int 7 %- int 10);
+        B.s1 "a" (B.int 2) B.(int 7 %/ int 2);
+        B.s1 "a" (B.int 3) B.(neg (int 7) %% int 3);
+        B.s1 "a" (B.int 4) B.(min_ (int 2) (int 9));
+        B.s1 "a" (B.int 5) B.(max_ (int 2) (int 9));
+      ]
+  in
+  let r = run p in
+  Alcotest.(check int) "add/mul" 19 (peek r "a" [ 0 ]);
+  Alcotest.(check int) "sub" (-3) (peek r "a" [ 1 ]);
+  Alcotest.(check int) "div" 3 (peek r "a" [ 2 ]);
+  Alcotest.(check int) "mod non-negative" 2 (peek r "a" [ 3 ]);
+  Alcotest.(check int) "min" 2 (peek r "a" [ 4 ]);
+  Alcotest.(check int) "max" 9 (peek r "a" [ 5 ])
+
+let test_loops_and_if () =
+  let p =
+    B.simple [ B.array "a" [ 10 ] ]
+      [
+        B.do_ "i" (B.int 0) (B.int 9)
+          [
+            B.if_ B.(var "i" %% int 2 %= int 0)
+              [ B.s1 "a" (B.var "i") (B.var "i") ]
+              [ B.s1 "a" (B.var "i") (B.neg (B.var "i")) ];
+          ];
+      ]
+  in
+  let r = run p in
+  Alcotest.(check int) "even" 4 (peek r "a" [ 4 ]);
+  Alcotest.(check int) "odd" (-5) (peek r "a" [ 5 ])
+
+let test_zero_trip_loop () =
+  let p = B.simple [ B.array "a" [ 4 ] ] [ B.do_ "i" (B.int 3) (B.int 1) [ B.s1 "a" (B.int 0) (B.int 9) ] ] in
+  Alcotest.(check int) "no iterations" 0 (peek (run p) "a" [ 0 ])
+
+let test_doall_matches_serial () =
+  (* a doall over independent iterations equals the serial loop *)
+  let body i = [ B.s1 "a" (B.var i) B.(var i %* var i) ] in
+  let par = B.simple [ B.array "a" [ 32 ] ] [ B.doall "i" (B.int 0) (B.int 31) (body "i") ] in
+  let ser = B.simple [ B.array "a" [ 32 ] ] [ B.do_ "i" (B.int 0) (B.int 31) (body "i") ] in
+  let rp = run par and rs = run ser in
+  Alcotest.(check (array int)) "same memory" rs.final_memory rp.final_memory
+
+let test_scalar_privatization () =
+  (* scalar updates inside a doall task must not leak across iterations *)
+  let p =
+    B.simple [ B.array "a" [ 8 ] ]
+      [
+        B.assign "x" (B.int 100);
+        B.doall "i" (B.int 0) (B.int 7)
+          [ B.assign "x" B.(var "x" %+ var "i"); B.s1 "a" (B.var "i") (B.var "x") ];
+        B.s1 "a" (B.int 0) (B.var "x");
+      ]
+  in
+  let r = run p in
+  Alcotest.(check int) "task 7 sees its own x" 107 (peek r "a" [ 7 ]);
+  Alcotest.(check int) "outer x unchanged" 100 (peek r "a" [ 0 ])
+
+let test_call_by_value () =
+  let p =
+    B.program
+      [ B.array "a" [ 4 ] ]
+      [
+        B.proc "f" [ "x" ] [ B.assign "x" B.(var "x" %+ int 1); B.s1 "a" (B.int 0) (B.var "x") ];
+        B.proc "main" [] [ B.assign "y" (B.int 5); B.call "f" [ B.var "y" ]; B.s1 "a" (B.int 1) (B.var "y") ];
+      ]
+  in
+  let r = run p in
+  Alcotest.(check int) "callee sees 6" 6 (peek r "a" [ 0 ]);
+  Alcotest.(check int) "caller y unchanged" 5 (peek r "a" [ 1 ])
+
+let test_blackbox_deterministic () =
+  Alcotest.(check int) "same value" (Eval.blackbox_value "f" [ 1; 2 ]) (Eval.blackbox_value "f" [ 1; 2 ]);
+  Alcotest.(check bool) "non-negative" true (Eval.blackbox_value "g" [ 42 ] >= 0);
+  Alcotest.(check bool) "name matters" true
+    (Eval.blackbox_value "f" [ 1 ] <> Eval.blackbox_value "g" [ 1 ])
+
+let test_critical_reduction () =
+  let p = Hscd_workloads.Kernels.reduction ~n:32 () in
+  let r = run p in
+  Alcotest.(check int) "sum of i mod 7" (List.fold_left (fun a i -> a + (i mod 7)) 0 (List.init 32 Fun.id))
+    (peek r "total" [ 0 ])
+
+let test_epoch_counting () =
+  (* serial / P / serial / P / serial -> 5 epochs *)
+  let p =
+    B.simple [ B.array "a" [ 4 ] ]
+      [
+        B.doall "i" (B.int 0) (B.int 3) [ B.s1 "a" (B.var "i") (B.int 1) ];
+        B.doall "i" (B.int 0) (B.int 3) [ B.s1 "a" (B.var "i") (B.int 2) ];
+      ]
+  in
+  Alcotest.(check int) "epochs" 5 (run p).epochs
+
+let test_epoch_hooks_alternate () =
+  let kinds = ref [] in
+  let hooks =
+    { Eval.null_hooks with
+      Eval.on_epoch_begin = (fun k -> kinds := (match k with Eval.Serial -> "S" | Eval.Parallel _ -> "P") :: !kinds) }
+  in
+  let p =
+    B.simple [ B.array "a" [ 4 ] ]
+      [ B.doall "i" (B.int 0) (B.int 3) [ B.s1 "a" (B.var "i") (B.int 1) ] ]
+  in
+  ignore (Eval.run ~hooks (Sema.check_exn p));
+  Alcotest.(check (list string)) "alternation" [ "S"; "P"; "S" ] (List.rev !kinds)
+
+(* --- race detection --- *)
+
+let expect_race p =
+  match run p with
+  | exception Eval.Data_race _ -> ()
+  | _ -> Alcotest.fail "race not detected"
+
+let test_race_write_write () =
+  expect_race
+    (B.simple [ B.array "a" [ 8 ] ] [ B.doall "i" (B.int 0) (B.int 7) [ B.s1 "a" (B.int 0) (B.var "i") ] ])
+
+let test_race_read_write () =
+  expect_race
+    (B.simple [ B.array "a" [ 8 ] ]
+       [ B.doall "i" (B.int 0) (B.int 7) [ B.s1 "a" (B.var "i") (B.a1 "a" B.(var "i" %+ int 1 %% int 8)) ] ])
+
+let test_race_critical_vs_plain () =
+  (* a critical write still races with an unsynchronized read *)
+  expect_race
+    (B.simple [ B.array "a" [ 8 ]; B.array "b" [ 8 ] ]
+       [
+         B.doall "i" (B.int 0) (B.int 7)
+           [
+             B.if_ B.(var "i" %= int 0)
+               [ B.critical [ B.s1 "a" (B.int 3) (B.int 1) ] ]
+               [ B.s1 "b" (B.var "i") (B.a1 "a" (B.int 3)) ];
+           ];
+       ])
+
+let test_no_race_disjoint () =
+  let p =
+    B.simple [ B.array "a" [ 8 ] ]
+      [ B.doall "i" (B.int 0) (B.int 7) [ B.s1 "a" (B.var "i") (B.var "i") ] ]
+  in
+  ignore (run p)
+
+let test_no_race_critical () =
+  ignore (run (Hscd_workloads.Kernels.reduction ~n:16 ()))
+
+let test_races_can_be_disabled () =
+  let p =
+    B.simple [ B.array "a" [ 8 ] ]
+      [ B.doall "i" (B.int 0) (B.int 7) [ B.s1 "a" (B.int 0) (B.var "i") ] ]
+  in
+  ignore (Eval.run ~check_races:false (Sema.check_exn p))
+
+(* --- runtime errors --- *)
+
+let expect_runtime p =
+  match run p with
+  | exception Eval.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "runtime error expected"
+
+let test_division_by_zero () =
+  expect_runtime (B.simple [ B.array "a" [ 2 ] ] [ B.s1 "a" (B.int 0) B.(int 1 %/ int 0) ])
+
+let test_out_of_bounds () =
+  expect_runtime (B.simple [ B.array "a" [ 2 ] ] [ B.s1 "a" (B.int 5) (B.int 0) ])
+
+let test_negative_work () =
+  expect_runtime (B.simple [] [ B.work_e (B.int (-1)) ])
+
+let test_step_limit () =
+  let p = B.simple [ B.array "a" [ 2 ] ] [ B.do_ "i" (B.int 0) (B.int 1000) [ B.s1 "a" (B.int 0) (B.int 1) ] ] in
+  match Eval.run ~max_steps:100 (Sema.check_exn p) with
+  | exception Eval.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "step limit not enforced"
+
+let suite =
+  [
+    Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+    Alcotest.test_case "loops and if" `Quick test_loops_and_if;
+    Alcotest.test_case "zero-trip loop" `Quick test_zero_trip_loop;
+    Alcotest.test_case "doall matches serial" `Quick test_doall_matches_serial;
+    Alcotest.test_case "scalar privatization" `Quick test_scalar_privatization;
+    Alcotest.test_case "call by value" `Quick test_call_by_value;
+    Alcotest.test_case "blackbox deterministic" `Quick test_blackbox_deterministic;
+    Alcotest.test_case "critical reduction" `Quick test_critical_reduction;
+    Alcotest.test_case "epoch counting" `Quick test_epoch_counting;
+    Alcotest.test_case "epoch hooks alternate" `Quick test_epoch_hooks_alternate;
+    Alcotest.test_case "race write/write" `Quick test_race_write_write;
+    Alcotest.test_case "race read/write" `Quick test_race_read_write;
+    Alcotest.test_case "race critical vs plain" `Quick test_race_critical_vs_plain;
+    Alcotest.test_case "no race disjoint" `Quick test_no_race_disjoint;
+    Alcotest.test_case "no race critical" `Quick test_no_race_critical;
+    Alcotest.test_case "race check disable" `Quick test_races_can_be_disabled;
+    Alcotest.test_case "division by zero" `Quick test_division_by_zero;
+    Alcotest.test_case "out of bounds" `Quick test_out_of_bounds;
+    Alcotest.test_case "negative work" `Quick test_negative_work;
+    Alcotest.test_case "step limit" `Quick test_step_limit;
+  ]

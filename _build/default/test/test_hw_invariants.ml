@@ -1,0 +1,120 @@
+(** Property test of the full-map directory's internal invariants: after
+    any sequence of reads/writes from random processors, the directory and
+    the caches must agree —
+
+    - a dirty line has exactly one cached copy, in state M, at a processor
+      the presence vector names;
+    - a clean line's sharers (states S) are all in the presence vector;
+    - no two caches hold the same line with one of them in state M;
+    - every cached value equals the memory image (values are kept eagerly
+      current; the protocol governs timing, not values). *)
+
+module Config = Hscd_arch.Config
+module Event = Hscd_arch.Event
+module Cache = Hscd_cache.Cache
+module Hwdir = Hscd_coherence.Hwdir
+module Memstate = Hscd_coherence.Memstate
+module Bitset = Hscd_util.Bitset
+module Kruskal_snir = Hscd_network.Kruskal_snir
+module Traffic = Hscd_network.Traffic
+
+let cfg = { Config.default with processors = 4; cache_bytes = 256 (* tiny: evictions *) }
+
+let memory_words = 128
+
+type op = R of int * int | W of int * int * int  (* proc, addr(, value) *)
+
+let gen_ops =
+  QCheck.Gen.(
+    list_size (int_range 1 120)
+      (let* proc = int_range 0 3 in
+       let* addr = int_range 0 (memory_words - 1) in
+       let* w = bool in
+       if w then map (fun v -> W (proc, addr, v)) (int_range 0 99) else return (R (proc, addr))))
+
+let print_ops ops =
+  String.concat "; "
+    (List.map
+       (function
+         | R (p, a) -> Printf.sprintf "R%d@%d" p a
+         | W (p, a, v) -> Printf.sprintf "W%d@%d=%d" p a v)
+       ops)
+
+let run_ops ops =
+  let net = Kruskal_snir.create cfg and traffic = Traffic.create cfg in
+  let hw = Hwdir.create cfg ~memory_words ~network:net ~traffic in
+  List.iter
+    (function
+      | R (proc, addr) -> ignore (Hwdir.read hw ~proc ~addr ~array:"m" ~mark:Event.Unmarked)
+      | W (proc, addr, v) ->
+        ignore (Hwdir.write hw ~proc ~addr ~array:"m" ~value:v ~mark:Event.Normal_write))
+    ops;
+  hw
+
+(* Caches holding memory line [l], with their states. *)
+let holders (hw : Hwdir.t) l =
+  List.filter_map
+    (fun p ->
+      match Cache.probe hw.Hwdir.caches.(p) (l * cfg.line_words) with
+      | Some line when line.Cache.state = 1 || line.Cache.state = 2 -> Some (p, line)
+      | Some _ | None -> None)
+    [ 0; 1; 2; 3 ]
+
+let check_invariants (hw : Hwdir.t) =
+  let lines = Array.length hw.Hwdir.directory in
+  let ok = ref true in
+  for l = 0 to lines - 1 do
+    let dir = hw.Hwdir.directory.(l) in
+    let hs = holders hw l in
+    let modified = List.filter (fun (_, line) -> line.Cache.state = 2) hs in
+    (* at most one M copy, and only when the directory says dirty *)
+    if List.length modified > 1 then ok := false;
+    if dir.Hwdir.dirty then begin
+      match modified with
+      | [ (p, _) ] -> if not (Bitset.mem dir.Hwdir.presence p) then ok := false
+      | _ -> ok := false
+    end
+    else if modified <> [] then ok := false;
+    (* every holder is known to the directory *)
+    List.iter (fun (p, _) -> if not (Bitset.mem dir.Hwdir.presence p) then ok := false) hs;
+    (* cached values match memory *)
+    List.iter
+      (fun (_, line) ->
+        Array.iteri
+          (fun k v ->
+            if line.Cache.word_valid.(k)
+               && v <> Memstate.read hw.Hwdir.mem ((l * cfg.line_words) + k)
+            then ok := false)
+          line.Cache.values)
+      hs
+  done;
+  !ok
+
+let qcheck_directory_invariants =
+  QCheck.Test.make ~name:"full-map directory invariants hold under random traffic" ~count:300
+    (QCheck.make gen_ops ~print:print_ops)
+    (fun ops -> check_invariants (run_ops ops))
+
+let qcheck_reads_return_last_write =
+  QCheck.Test.make ~name:"directory reads always return the last written value" ~count:300
+    (QCheck.make gen_ops ~print:print_ops)
+    (fun ops ->
+      let net = Kruskal_snir.create cfg and traffic = Traffic.create cfg in
+      let hw = Hwdir.create cfg ~memory_words ~network:net ~traffic in
+      let shadow = Array.make memory_words 0 in
+      List.for_all
+        (function
+          | W (proc, addr, v) ->
+            shadow.(addr) <- v;
+            ignore (Hwdir.write hw ~proc ~addr ~array:"m" ~value:v ~mark:Event.Normal_write);
+            true
+          | R (proc, addr) ->
+            (Hwdir.read hw ~proc ~addr ~array:"m" ~mark:Event.Unmarked).Hscd_coherence.Scheme.value
+            = shadow.(addr))
+        ops)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_directory_invariants;
+    QCheck_alcotest.to_alcotest qcheck_reads_return_last_write;
+  ]

@@ -1,0 +1,288 @@
+(** Tests for the PFL language layer: lexer, parser, printer round-trip,
+    shapes and semantic checking. *)
+
+module Ast = Hscd_lang.Ast
+module Lexer = Hscd_lang.Lexer
+module Parser = Hscd_lang.Parser
+module Printer = Hscd_lang.Printer
+module Sema = Hscd_lang.Sema
+module Shape = Hscd_lang.Shape
+module B = Hscd_lang.Builder
+
+let program_eq = Alcotest.testable (Fmt.of_to_string Ast.show_program) Ast.equal_program
+
+(* --- lexer --- *)
+
+let test_lexer_tokens () =
+  let toks = Lexer.tokenize "do i = 0, n - 1  # comment\n a[i] = 3 <= x" in
+  let kinds = List.map (fun (t : Lexer.located) -> Lexer.pp_token t.tok) toks in
+  Alcotest.(check (list string)) "tokens"
+    [ "do"; "i"; "="; "0"; ","; "n"; "-"; "1"; "a"; "["; "i"; "]"; "="; "3"; "<="; "x"; "<eof>" ]
+    kinds
+
+let test_lexer_line_numbers () =
+  let toks = Lexer.tokenize "a\nb\n\nc" in
+  let lines = List.filter_map (fun (t : Lexer.located) ->
+      match t.tok with Lexer.IDENT _ -> Some t.line | _ -> None) toks in
+  Alcotest.(check (list int)) "lines" [ 1; 2; 4 ] lines
+
+let test_lexer_error () =
+  Alcotest.check_raises "bad char" (Lexer.Lex_error ("unexpected character '$'", 2))
+    (fun () -> ignore (Lexer.tokenize "ok\n$"))
+
+(* --- parser --- *)
+
+let parse = Parser.parse_exn
+
+let test_parse_minimal () =
+  let p = parse "array a[4]\nproc main()\n a[0] = 1\nend" in
+  Alcotest.(check int) "one array" 1 (List.length p.arrays);
+  Alcotest.(check int) "one proc" 1 (List.length p.procs)
+
+let test_parse_precedence () =
+  let p = parse "proc main()\n x = 1 + 2 * 3 - 4 / 2\nend" in
+  match (List.hd p.procs).body with
+  | [ Ast.Assign ("x", e) ] ->
+    Alcotest.check program_eq "dummy" (B.program [] []) (B.program [] []);
+    Alcotest.(check bool) "shape" true
+      (Ast.equal_expr e
+         B.(int 1 %+ (int 2 %* int 3) %- (int 4 %/ int 2)))
+  | _ -> Alcotest.fail "unexpected body"
+
+let test_parse_statements () =
+  let src = {|
+array a[8, 8]
+proc helper(k)
+  work k
+end
+proc main()
+  do i = 0, 7
+    doall j = 0, 7
+      a[i, j] = blackbox(f, i, j) mod 8
+    end
+  end
+  if a[0, 0] == 0 and not (1 > 2) then
+    call helper(3)
+  else
+    critical
+      a[1, 1] = min(a[0, 0], 4)
+    end
+  end
+end
+|} in
+  let p = parse src in
+  Alcotest.(check int) "procs" 2 (List.length p.procs)
+
+let test_parse_errors () =
+  let expect_fail src =
+    match parse src with
+    | exception Failure _ -> ()
+    | _ -> Alcotest.fail ("should not parse: " ^ src)
+  in
+  expect_fail "proc main()"; (* missing end *)
+  expect_fail "array a[]\nproc main()\nend"; (* empty dims *)
+  expect_fail "proc main()\n x = \nend"; (* missing expr *)
+  expect_fail "garbage"
+
+(* --- printer round-trip --- *)
+
+let roundtrip p =
+  let printed = Printer.program_to_string p in
+  let reparsed = parse printed in
+  Alcotest.check program_eq "roundtrip" p reparsed
+
+let test_roundtrip_handwritten () =
+  roundtrip
+    (B.program
+       [ B.array "a" [ 8; 4 ]; B.array "b" [ 16 ] ]
+       [
+         B.proc "helper" [ "x"; "y" ] [ B.assign "z" B.(var "x" %% (var "y" %+ int 1)); B.work_e (B.var "z") ];
+         B.proc "main" []
+           [
+             B.doall "i" (B.int 0) (B.int 15)
+               [
+                 B.s1 "b" (B.var "i") B.(neg (int 3) %* var "i");
+                 B.if_ B.(a1 "b" (var "i") %> int 4)
+                   [ B.s2 "a" B.(var "i" %% int 8) (B.int 0) (B.blackbox "f" [ B.var "i" ]) ]
+                   [ B.critical [ B.s1 "b" (B.int 0) B.(min_ (int 1) (int 2)) ] ];
+               ];
+             B.do_ "t" (B.int 0) (B.int 3) [ B.call "helper" [ B.int 1; B.a1 "b" (B.int 2) ] ];
+           ];
+       ])
+
+(* random AST generator for the round-trip property *)
+let gen_program =
+  let open QCheck.Gen in
+  let ident = oneofl [ "x"; "y"; "z"; "i"; "j" ] in
+  let arr = oneofl [ "a"; "b" ] in
+  let rec gen_expr n =
+    if n <= 0 then oneof [ map (fun i -> Ast.Int i) (int_bound 20); map (fun v -> Ast.Var v) ident ]
+    else
+      frequency
+        [
+          (2, map (fun i -> Ast.Int i) (int_bound 20));
+          (2, map (fun v -> Ast.Var v) ident);
+          (2, map2 (fun a b -> Ast.Binop (Ast.Add, a, b)) (gen_expr (n - 1)) (gen_expr (n - 1)));
+          (1, map2 (fun a b -> Ast.Binop (Ast.Mul, a, b)) (gen_expr (n - 1)) (gen_expr (n - 1)));
+          (1, map2 (fun a b -> Ast.Binop (Ast.Mod, a, b)) (gen_expr (n - 1)) (gen_expr (n - 1)));
+          (1, map2 (fun a b -> Ast.Binop (Ast.Min, a, b)) (gen_expr (n - 1)) (gen_expr (n - 1)));
+          (1, map (fun e -> Ast.Neg e) (gen_expr (n - 1)));
+          (1, map (fun e -> Ast.Aref ("a", [ e ], Ast.Unmarked)) (gen_expr (n - 1)));
+          (1, map (fun e -> Ast.Blackbox ("f", [ e ])) (gen_expr (n - 1)));
+        ]
+  in
+  let gen_cond n =
+    map2 (fun a b -> Ast.Cmp (Ast.Le, a, b)) (gen_expr n) (gen_expr n)
+  in
+  let rec gen_stmt n =
+    if n <= 0 then map2 (fun v e -> Ast.Assign (v, e)) ident (gen_expr 1)
+    else
+      frequency
+        [
+          (3, map2 (fun v e -> Ast.Assign (v, e)) ident (gen_expr 2));
+          (2, map3 (fun a i e -> Ast.Store (a, [ i ], e, Ast.Normal_write)) arr (gen_expr 1) (gen_expr 2));
+          (1,
+           map3 (fun v b1 b2 -> Ast.Do { index = v; lo = Ast.Int 0; hi = Ast.Int 3; body = [ b1; b2 ] })
+             ident (gen_stmt (n - 1)) (gen_stmt (n - 1)));
+          (1,
+           map3 (fun c t e -> Ast.If (c, [ t ], [ e ])) (gen_cond 1) (gen_stmt (n - 1)) (gen_stmt (n - 1)));
+          (1, map (fun s -> Ast.Critical [ s ]) (gen_stmt (n - 1)));
+          (1, map (fun e -> Ast.Work e) (gen_expr 1));
+        ]
+  in
+  let gen_body = list_size (int_range 1 5) (gen_stmt 2) in
+  map
+    (fun body ->
+      { Ast.arrays = [ { Ast.arr_name = "a"; dims = [ 8 ] }; { Ast.arr_name = "b"; dims = [ 4; 4 ] } ];
+        procs = [ { Ast.proc_name = "main"; params = []; body } ];
+        entry = "main" })
+    gen_body
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~name:"printer/parser round-trip on random ASTs" ~count:200
+    (QCheck.make gen_program ~print:Printer.program_to_string)
+    (fun p ->
+      let printed = Printer.program_to_string p in
+      Ast.equal_program p (Parser.parse_exn printed))
+
+(* --- shape --- *)
+
+let test_shape_layout () =
+  let l = Shape.layout ~line_words:4 [ B.array "a" [ 3; 3 ]; B.array "b" [ 5 ] ] in
+  let a = Shape.find l "a" and b = Shape.find l "b" in
+  Alcotest.(check int) "a size" 9 a.size;
+  Alcotest.(check int) "a base" 0 a.base;
+  Alcotest.(check int) "b base aligned" 12 b.base;
+  Alcotest.(check int) "address" (Shape.address l "a" [ 1; 2 ]) 5;
+  (match Shape.owner l 13 with
+  | Some (t, off) ->
+    Alcotest.(check string) "owner" "b" t.name;
+    Alcotest.(check int) "offset" 1 off
+  | None -> Alcotest.fail "owner not found");
+  Alcotest.(check bool) "padding unowned" true (Shape.owner l 10 = None)
+
+let test_shape_errors () =
+  let l = Shape.layout [ B.array "a" [ 4 ] ] in
+  Alcotest.check_raises "oob" (Invalid_argument "Shape: index 4 out of bounds [0,4) for a")
+    (fun () -> ignore (Shape.address l "a" [ 4 ]));
+  Alcotest.check_raises "rank" (Invalid_argument "Shape: a expects 1 subscripts, got 2")
+    (fun () -> ignore (Shape.address l "a" [ 0; 0 ]));
+  Alcotest.check_raises "unknown" (Invalid_argument "Shape: unknown array z")
+    (fun () -> ignore (Shape.address l "z" [ 0 ]))
+
+(* --- sema --- *)
+
+let errors_of p = Sema.errors (snd (Sema.check p))
+let has_error p = errors_of p <> []
+
+let test_sema_accepts_good () =
+  let p = Hscd_workloads.Kernels.procedural () in
+  Alcotest.(check bool) "no errors" false (has_error p)
+
+let test_sema_undefined_scalar () =
+  let p = B.simple [ B.array "a" [ 4 ] ] [ B.s1 "a" (B.int 0) (B.var "ghost") ] in
+  Alcotest.(check bool) "error" true (has_error p)
+
+let test_sema_rank_mismatch () =
+  let p = B.simple [ B.array "a" [ 4; 4 ] ] [ B.s1 "a" (B.int 0) (B.int 1) ] in
+  Alcotest.(check bool) "error" true (has_error p)
+
+let test_sema_unknown_call () =
+  let p = B.simple [] [ B.call "nope" [] ] in
+  Alcotest.(check bool) "error" true (has_error p)
+
+let test_sema_arity () =
+  let p =
+    B.program []
+      [ B.proc "f" [ "x" ] [ B.assign "y" (B.var "x") ]; B.proc "main" [] [ B.call "f" [] ] ]
+  in
+  Alcotest.(check bool) "error" true (has_error p)
+
+let test_sema_recursion () =
+  let p =
+    B.program []
+      [ B.proc "f" [] [ B.call "g" [] ]; B.proc "g" [] [ B.call "f" [] ];
+        B.proc "main" [] [ B.call "f" [] ] ]
+  in
+  Alcotest.(check bool) "error" true (has_error p)
+
+let test_sema_missing_entry () =
+  let p = B.program [] [ B.proc "other" [] [] ] in
+  Alcotest.(check bool) "error" true (has_error p)
+
+let test_sema_nested_doall_demoted () =
+  let p =
+    B.simple [ B.array "a" [ 4; 4 ] ]
+      [
+        B.doall "i" (B.int 0) (B.int 3)
+          [ B.doall "j" (B.int 0) (B.int 3) [ B.s2 "a" (B.var "i") (B.var "j") (B.int 1) ] ];
+      ]
+  in
+  let normalized, issues = Sema.check p in
+  Alcotest.(check int) "no errors" 0 (List.length (Sema.errors issues));
+  Alcotest.(check int) "one warning" 1 (List.length (Sema.warnings issues));
+  match (List.hd normalized.procs).body with
+  | [ Ast.Doall { body = [ Ast.Do _ ]; _ } ] -> ()
+  | _ -> Alcotest.fail "inner doall not demoted"
+
+let test_sema_epoch_proc_in_doall () =
+  let p =
+    B.program
+      [ B.array "a" [ 4 ] ]
+      [
+        B.proc "par" [] [ B.doall "i" (B.int 0) (B.int 3) [ B.s1 "a" (B.var "i") (B.int 0) ] ];
+        B.proc "main" [] [ B.doall "i" (B.int 0) (B.int 3) [ B.call "par" [] ] ];
+      ]
+  in
+  Alcotest.(check bool) "error" true (has_error p)
+
+let test_sema_duplicates () =
+  Alcotest.(check bool) "dup array" true
+    (has_error (B.program [ B.array "a" [ 1 ]; B.array "a" [ 2 ] ] [ B.proc "main" [] [] ]));
+  Alcotest.(check bool) "dup proc" true
+    (has_error (B.program [] [ B.proc "main" [] []; B.proc "main" [] [] ]))
+
+let suite =
+  [
+    Alcotest.test_case "lexer tokens" `Quick test_lexer_tokens;
+    Alcotest.test_case "lexer line numbers" `Quick test_lexer_line_numbers;
+    Alcotest.test_case "lexer error" `Quick test_lexer_error;
+    Alcotest.test_case "parse minimal" `Quick test_parse_minimal;
+    Alcotest.test_case "parse precedence" `Quick test_parse_precedence;
+    Alcotest.test_case "parse statements" `Quick test_parse_statements;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "round-trip handwritten" `Quick test_roundtrip_handwritten;
+    QCheck_alcotest.to_alcotest qcheck_roundtrip;
+    Alcotest.test_case "shape layout" `Quick test_shape_layout;
+    Alcotest.test_case "shape errors" `Quick test_shape_errors;
+    Alcotest.test_case "sema accepts good" `Quick test_sema_accepts_good;
+    Alcotest.test_case "sema undefined scalar" `Quick test_sema_undefined_scalar;
+    Alcotest.test_case "sema rank mismatch" `Quick test_sema_rank_mismatch;
+    Alcotest.test_case "sema unknown call" `Quick test_sema_unknown_call;
+    Alcotest.test_case "sema arity" `Quick test_sema_arity;
+    Alcotest.test_case "sema recursion" `Quick test_sema_recursion;
+    Alcotest.test_case "sema missing entry" `Quick test_sema_missing_entry;
+    Alcotest.test_case "sema nested doall demoted" `Quick test_sema_nested_doall_demoted;
+    Alcotest.test_case "sema epoch proc in doall" `Quick test_sema_epoch_proc_in_doall;
+    Alcotest.test_case "sema duplicates" `Quick test_sema_duplicates;
+  ]

@@ -1,0 +1,23 @@
+(* Aggregated alcotest runner for all suites. *)
+let () =
+  Alcotest.run "hscd"
+    [
+      ("util", Test_util.suite);
+      ("lang", Test_lang.suite);
+      ("eval", Test_eval.suite);
+      ("sections", Test_sections.suite);
+      ("compiler", Test_compiler.suite);
+      ("marking", Test_marking.suite);
+      ("cache-net", Test_cache_net.suite);
+      ("coherence", Test_coherence.suite);
+      ("engine", Test_engine.suite);
+      ("random", Test_random.suite);
+      ("extensions", Test_extensions.suite);
+      ("stats-report", Test_stats_report.suite);
+      ("hw-invariants", Test_hw_invariants.suite);
+      ("trace-io", Test_trace_io.suite);
+      ("edge-cases", Test_edge_cases.suite);
+      ("workloads", Test_workloads.suite);
+      ("experiments", Test_experiments.suite);
+      ("core", [ Alcotest.test_case "facade placeholder" `Quick (fun () -> Core.placeholder ()) ]);
+    ]

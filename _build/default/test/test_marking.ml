@@ -1,0 +1,287 @@
+(** Golden tests for the reference-marking pass: each known program shape
+    must get exactly the mark the TPI scheme relies on. *)
+
+module Ast = Hscd_lang.Ast
+module Sema = Hscd_lang.Sema
+module Parser = Hscd_lang.Parser
+module Marking = Hscd_compiler.Marking
+module B = Hscd_lang.Builder
+
+(* All read marks of array [name] in a marked program, in preorder. *)
+let marks_of (program : Ast.program) name =
+  let acc = ref [] in
+  let rec expr (e : Ast.expr) =
+    match e with
+    | Ast.Int _ | Ast.Var _ -> ()
+    | Ast.Neg e -> expr e
+    | Ast.Binop (_, a, b) -> expr a; expr b
+    | Ast.Blackbox (_, args) -> List.iter expr args
+    | Ast.Aref (a, idx, m) ->
+      List.iter expr idx;
+      if a = name then acc := m :: !acc
+  in
+  let rec cond (c : Ast.cond) =
+    match c with
+    | Ast.Cmp (_, a, b) -> expr a; expr b
+    | Ast.And (a, b) | Ast.Or (a, b) -> cond a; cond b
+    | Ast.Not c -> cond c
+  in
+  let rec stmt (s : Ast.stmt) =
+    match s with
+    | Ast.Assign (_, e) | Ast.Work e -> expr e
+    | Ast.Store (_, idx, e, _) -> List.iter expr idx; expr e
+    | Ast.Do l | Ast.Doall l -> expr l.lo; expr l.hi; List.iter stmt l.body
+    | Ast.If (c, t, e) -> cond c; List.iter stmt t; List.iter stmt e
+    | Ast.Call (_, args) -> List.iter expr args
+    | Ast.Critical body -> List.iter stmt body
+  in
+  List.iter (fun (p : Ast.proc) -> List.iter stmt p.body) program.procs;
+  List.rev !acc
+
+let mark ?(intertask = true) ?(static_sched = true) p =
+  (Marking.mark_program ~intertask ~static_sched (Sema.check_exn p)).Marking.program
+
+let rmark = Alcotest.testable (Fmt.of_to_string Ast.show_rmark) Ast.equal_rmark
+
+let parse = Parser.parse_exn
+
+let test_owner_aligned_normal () =
+  let m = mark (parse {|
+array a[64]
+proc main()
+  doall i = 0, 63
+    a[i] = i
+  end
+  doall i = 0, 63
+    a[i] = a[i] + 1
+  end
+end|}) in
+  Alcotest.(check (list rmark)) "aligned read is Normal" [ Ast.Normal_read ] (marks_of m "a")
+
+let test_stencil_time1 () =
+  let m = mark (parse {|
+array a[64]
+array b[64]
+proc main()
+  doall i = 0, 63
+    a[i] = i
+  end
+  doall i = 1, 62
+    b[i] = a[i - 1] + a[i + 1]
+  end
+end|}) in
+  Alcotest.(check (list rmark)) "neighbours are Time-Read(1)"
+    [ Ast.Time_read 1; Ast.Time_read 1 ] (marks_of m "a")
+
+let test_farther_epoch_larger_d () =
+  let m = mark (parse {|
+array a[64]
+array b[64]
+array c[64]
+proc main()
+  doall i = 0, 63
+    a[i] = i
+  end
+  doall i = 0, 63
+    b[i] = i
+  end
+  doall i = 1, 62
+    c[i] = a[i - 1]
+  end
+end|}) in
+  (* a written two parallel epochs (4 boundaries) before the read *)
+  Alcotest.(check (list rmark)) "distance grows" [ Ast.Time_read 3 ] (marks_of m "a")
+
+let test_never_written_normal () =
+  let m = mark (parse {|
+array a[64]
+array b[64]
+proc main()
+  doall i = 0, 63
+    b[i] = a[i]
+  end
+end|}) in
+  Alcotest.(check (list rmark)) "never-written data is Normal" [ Ast.Normal_read ] (marks_of m "a")
+
+let test_serial_to_serial_aligned () =
+  let m = mark (parse {|
+array a[64]
+array b[64]
+proc main()
+  do i = 0, 63
+    a[i] = i
+  end
+  do i = 0, 63
+    b[i] = a[i]
+  end
+end|}) in
+  (* both epochs run on processor 0: all writers aligned -> Normal *)
+  Alcotest.(check (list rmark)) "serial-serial" [ Ast.Normal_read ] (marks_of m "a")
+
+let test_blackbox_conservative () =
+  let m = mark (parse {|
+array a[64]
+array b[64]
+proc main()
+  doall i = 0, 63
+    a[i] = i
+  end
+  doall i = 0, 63
+    b[i] = a[blackbox(f, i) mod 64]
+  end
+end|}) in
+  (* whole-array section, unaligned writer one epoch back -> Time-Read(1) *)
+  Alcotest.(check (list rmark)) "conservative distance" [ Ast.Time_read 1 ] (marks_of m "a")
+
+let test_same_epoch_unaligned_bypass () =
+  (* reading the whole array while tasks write their own elements would be a
+     race in general; with a blackbox subscript the compiler cannot prove
+     otherwise and must bypass *)
+  let m = mark (parse {|
+array a[64]
+array b[64]
+proc main()
+  doall i = 0, 63
+    b[i] = a[blackbox(f, i) mod 64]
+    a[i] = i
+  end
+end|}) in
+  Alcotest.(check (list rmark)) "same-epoch cross-task" [ Ast.Bypass_read ] (marks_of m "a")
+
+let test_critical_bypass () =
+  let m = mark (Hscd_workloads.Kernels.reduction ~n:16 ()) in
+  Alcotest.(check (list rmark)) "critical reads bypass" [ Ast.Bypass_read ] (marks_of m "total")
+
+let test_loop_carried_distance () =
+  let m = mark (parse {|
+array a[64]
+array b[64]
+proc main()
+  do t = 0, 9
+    doall i = 1, 62
+      b[i] = a[i - 1] + a[i + 1]
+    end
+    doall i = 1, 62
+      a[i] = b[i]
+    end
+  end
+end|}) in
+  (* the stencil reads data written by the copy-back of the previous
+     iteration: distance 1 around the back edge *)
+  Alcotest.(check (list rmark)) "loop carried"
+    [ Ast.Time_read 1; Ast.Time_read 1 ] (marks_of m "a")
+
+let test_alignment_ablation () =
+  let src = {|
+array a[64]
+array b[64]
+proc main()
+  doall i = 0, 63
+    a[i] = i
+  end
+  doall i = 0, 63
+    b[i] = a[i] + 1
+  end
+end|} in
+  let on = mark (parse src) in
+  let off = mark ~intertask:false (parse src) in
+  Alcotest.(check (list rmark)) "on: Normal" [ Ast.Normal_read ] (marks_of on "a");
+  Alcotest.(check (list rmark)) "off: Time-Read(1)" [ Ast.Time_read 1 ] (marks_of off "a")
+
+let test_dynamic_sched_disables_alignment () =
+  let src = {|
+array a[64]
+array b[64]
+proc main()
+  doall i = 0, 63
+    a[i] = i
+  end
+  doall i = 0, 63
+    b[i] = a[i] + 1
+  end
+end|} in
+  let m = mark ~static_sched:false (parse src) in
+  Alcotest.(check (list rmark)) "dynamic: conservative" [ Ast.Time_read 1 ] (marks_of m "a")
+
+let test_same_epoch_own_write_without_alignment_bypasses () =
+  (* with alignment knowledge the read of the task's own element is Normal;
+     without it, a same-epoch writer could be any task: must bypass *)
+  let src = {|
+array a[64]
+proc main()
+  doall i = 0, 63
+    a[i] = i
+  end
+  doall i = 0, 63
+    a[i] = a[i] + 1
+  end
+end|} in
+  let on = mark (parse src) in
+  let off = mark ~intertask:false (parse src) in
+  Alcotest.(check (list rmark)) "on: Normal" [ Ast.Normal_read ] (marks_of on "a");
+  Alcotest.(check (list rmark)) "off: Bypass" [ Ast.Bypass_read ] (marks_of off "a")
+
+let test_interprocedural_write_visible () =
+  let m = mark (parse {|
+array u[64]
+array v[64]
+proc init()
+  doall i = 0, 63
+    u[i] = i
+  end
+end
+proc main()
+  call init()
+  doall i = 1, 62
+    v[i] = u[i - 1]
+  end
+end|}) in
+  (* init's doall is 2 boundaries before the reader epoch; unaligned *)
+  Alcotest.(check (list rmark)) "across call" [ Ast.Time_read 1 ] (marks_of m "u")
+
+let test_entry_context_conservative () =
+  (* a callee reading data the caller wrote one epoch earlier must not get
+     a Normal mark even though the callee itself never writes it *)
+  let m = mark (parse {|
+array a[64]
+array b[64]
+proc reader()
+  doall i = 0, 63
+    b[i] = a[i]
+  end
+end
+proc main()
+  doall i = 0, 63
+    a[i] = i
+  end
+  call reader()
+end|}) in
+  match marks_of m "a" with
+  | [ Ast.Time_read d ] -> Alcotest.(check bool) "bounded distance" true (d <= 2)
+  | [ Ast.Normal_read ] -> Alcotest.fail "unsafe Normal mark across procedure entry"
+  | other -> Alcotest.fail (Printf.sprintf "unexpected marks (%d)" (List.length other))
+
+let test_census_counts () =
+  let r = Marking.mark_program (Sema.check_exn (Hscd_workloads.Kernels.jacobi1d ~n:32 ~iters:2 ())) in
+  let c = r.Marking.census in
+  Alcotest.(check int) "reads accounted" (c.normal_reads + c.time_reads + c.bypass_reads) 3;
+  Alcotest.(check bool) "writes counted" true (c.normal_writes >= 3)
+
+let suite =
+  [
+    Alcotest.test_case "owner-aligned -> Normal" `Quick test_owner_aligned_normal;
+    Alcotest.test_case "stencil -> Time-Read(1)" `Quick test_stencil_time1;
+    Alcotest.test_case "distance grows with epochs" `Quick test_farther_epoch_larger_d;
+    Alcotest.test_case "never written -> Normal" `Quick test_never_written_normal;
+    Alcotest.test_case "serial-serial aligned" `Quick test_serial_to_serial_aligned;
+    Alcotest.test_case "blackbox conservative" `Quick test_blackbox_conservative;
+    Alcotest.test_case "same-epoch bypass" `Quick test_same_epoch_unaligned_bypass;
+    Alcotest.test_case "critical bypass" `Quick test_critical_bypass;
+    Alcotest.test_case "loop-carried distance" `Quick test_loop_carried_distance;
+    Alcotest.test_case "alignment ablation" `Quick test_alignment_ablation;
+    Alcotest.test_case "dynamic scheduling conservative" `Quick test_dynamic_sched_disables_alignment;
+    Alcotest.test_case "same-epoch write w/o alignment" `Quick test_same_epoch_own_write_without_alignment_bypasses;
+    Alcotest.test_case "interprocedural write" `Quick test_interprocedural_write_visible;
+    Alcotest.test_case "entry context" `Quick test_entry_context_conservative;
+    Alcotest.test_case "census counts" `Quick test_census_counts;
+  ]

@@ -1,0 +1,178 @@
+(** The whole-stack soundness property: for *random* race-free parallel
+    programs, the compiler's marks must never let any scheme return a
+    stale value — every load is checked against the golden interpreter and
+    the final memories must match.
+
+    The generator builds programs from a vocabulary of epoch shapes
+    (owner-partitioned DOALLs with stencil/affine/blackbox reads, serial
+    sweeps, epoch-bearing loops, branches, procedure calls, critical
+    sections). Race freedom is by construction — within a parallel epoch a
+    task writes only its own elements and reads arrays written this epoch
+    only at its own index — and the interpreter's race checker verifies
+    the generator's claim on every case. *)
+
+module Ast = Hscd_lang.Ast
+module B = Hscd_lang.Builder
+module Config = Hscd_arch.Config
+module Run = Hscd_sim.Run
+
+let n = 24 (* array extent *)
+let arrays = [ "a"; "b"; "c" ]
+
+(* A random read expression for a parallel-epoch body over index [i].
+   [written] is the array written by this epoch and [own_idx] the element
+   the task owns: reads of the written array stay at that element; other
+   arrays may be read anywhere. *)
+let gen_read ~ivar ~written ~own_idx =
+  let open QCheck.Gen in
+  let* arr = oneofl arrays in
+  if arr = written then return (B.aref arr [ own_idx ])
+  else
+    oneof
+      [
+        return (B.a1 arr (B.var ivar));
+        (let* o = int_range 1 3 in
+         return (B.a1 arr B.(min_ (var ivar %+ int o) (int (n - 1)))));
+        (let* o = int_range 1 3 in
+         return (B.a1 arr B.(max_ (var ivar %- int o) (int 0))));
+        (let* k = int_range 0 (n - 1) in
+         return (B.a1 arr (B.int k)));
+        return (B.a1 arr B.(blackbox "h" [ var ivar ] %% int n));
+        (* strided read *)
+        return (B.a1 arr B.((var ivar %* int 2) %% int n));
+      ]
+
+let gen_rhs ~ivar ~written ~own_idx =
+  let open QCheck.Gen in
+  let* reads = list_size (int_range 1 3) (gen_read ~ivar ~written ~own_idx) in
+  let* c = int_range 0 9 in
+  return (List.fold_left (fun acc r -> B.(acc %+ r)) (B.int c) reads)
+
+(* One parallel epoch: every task writes element i of [target] (or 2i with
+   a stride), possibly reading other arrays. *)
+let gen_parallel_epoch =
+  let open QCheck.Gen in
+  let* target = oneofl arrays in
+  let* strided = bool in
+  let idx = if strided then B.(var "i" %* int 2 %% int n) else B.var "i" in
+  let* rhs = gen_rhs ~ivar:"i" ~written:target ~own_idx:idx in
+  (* strided targets write 2i mod n: collisions would race, so restrict the
+     space to the first half *)
+  let hi = if strided then (n / 2) - 1 else n - 1 in
+  return (B.doall "i" (B.int 0) (B.int hi) [ B.store target [ idx ] rhs ])
+
+(* A serial sweep epoch. *)
+let gen_serial_sweep =
+  let open QCheck.Gen in
+  let* target = oneofl arrays in
+  let* rhs = gen_rhs ~ivar:"k" ~written:"" ~own_idx:(B.var "k") in
+  return (B.do_ "k" (B.int 0) (B.int (n - 1)) [ B.store target [ B.var "k" ] rhs ])
+
+(* A critical-section reduction epoch over array c's cell 0. *)
+let gen_reduction_epoch =
+  let open QCheck.Gen in
+  let* src = oneofl [ "a"; "b" ] in
+  return
+    (B.doall "i" (B.int 0) (B.int (n - 1))
+       [ B.critical [ B.s1 "c" (B.int 0) B.(a1 "c" (int 0) %+ a1 src (var "i")) ] ])
+
+let gen_top_stmt =
+  let open QCheck.Gen in
+  frequency
+    [
+      (5, gen_parallel_epoch);
+      (2, gen_serial_sweep);
+      (1, gen_reduction_epoch);
+      (2,
+       (* epoch-bearing serial loop *)
+       let* inner = gen_parallel_epoch in
+       let* trips = int_range 1 3 in
+       return (B.do_ "t" (B.int 0) (B.int (trips - 1)) [ inner ]));
+      (1,
+       (* branch around an epoch; condition on a scalar *)
+       let* inner = gen_parallel_epoch in
+       let* other = gen_serial_sweep in
+       return (B.if_ B.(var "flag" %> int 0) [ inner ] [ other ]));
+    ]
+
+let gen_program =
+  let open QCheck.Gen in
+  let* flag = int_range 0 1 in
+  let* body = list_size (int_range 2 6) gen_top_stmt in
+  let* use_proc = bool in
+  let decls = List.map (fun a -> B.array a [ n ]) arrays in
+  if use_proc then
+    (* move the tail of the body into a procedure to exercise the
+       interprocedural analysis *)
+    let rec split k = function
+      | [] -> ([], [])
+      | x :: rest when k > 0 ->
+        let h, t = split (k - 1) rest in
+        (x :: h, t)
+      | rest -> ([], rest)
+    in
+    let head, tail = split (List.length body / 2) body in
+    return
+      (B.program decls
+         [
+           B.proc "tail" [] (B.assign "flag" (B.int flag) :: tail);
+           B.proc "main" [] ((B.assign "flag" (B.int flag) :: head) @ [ B.call "tail" [] ]);
+         ])
+  else return (B.program decls [ B.proc "main" [] (B.assign "flag" (B.int flag) :: body) ])
+
+let arb_program =
+  QCheck.make gen_program ~print:Hscd_lang.Printer.program_to_string
+
+(* small machine so conflicts and evictions actually happen *)
+let test_cfg = { Config.default with processors = 4; cache_bytes = 1024; timetag_bits = 4 }
+
+let coherent_under cfg program =
+  let _, results = Run.compare ~cfg program in
+  List.for_all
+    (fun (r : Run.comparison) -> r.result.metrics.violations = 0 && r.result.memory_ok)
+    results
+
+let qcheck_soundness =
+  QCheck.Test.make ~name:"random programs: every scheme returns golden values" ~count:60
+    arb_program
+    (fun p -> coherent_under test_cfg p)
+
+let qcheck_soundness_dynamic =
+  QCheck.Test.make ~name:"random programs stay coherent under dynamic scheduling" ~count:25
+    arb_program
+    (fun p -> coherent_under { test_cfg with scheduling = Config.Dynamic } p)
+
+let qcheck_soundness_tiny_tags =
+  QCheck.Test.make ~name:"random programs stay coherent with 2-bit timetags" ~count:25
+    arb_program
+    (fun p -> coherent_under { test_cfg with timetag_bits = 2 } p)
+
+let qcheck_soundness_migration =
+  QCheck.Test.make ~name:"random programs stay coherent under task migration" ~count:25
+    arb_program
+    (fun p ->
+      coherent_under
+        { test_cfg with scheduling = Config.Dynamic; migration_rate = 0.4 } p)
+
+let qcheck_soundness_big_lines =
+  QCheck.Test.make ~name:"random programs stay coherent with 64-byte lines" ~count:25
+    arb_program
+    (fun p -> coherent_under { test_cfg with line_words = 16 } p)
+
+let qcheck_generator_race_free =
+  QCheck.Test.make ~name:"generated programs pass the interpreter race checker" ~count:60
+    arb_program
+    (fun p ->
+      match Hscd_lang.Eval.run (Hscd_lang.Sema.check_exn p) with
+      | _ -> true
+      | exception Hscd_lang.Eval.Data_race _ -> false)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_generator_race_free;
+    QCheck_alcotest.to_alcotest qcheck_soundness;
+    QCheck_alcotest.to_alcotest qcheck_soundness_dynamic;
+    QCheck_alcotest.to_alcotest qcheck_soundness_tiny_tags;
+    QCheck_alcotest.to_alcotest qcheck_soundness_big_lines;
+    QCheck_alcotest.to_alcotest qcheck_soundness_migration;
+  ]

@@ -1,0 +1,170 @@
+(** Property and unit tests for the strided-section algebra and affine
+    forms — the soundness-critical kernels of the compiler. *)
+
+module Sections = Hscd_compiler.Sections
+module Sint = Hscd_compiler.Sections.Sint
+module Affine = Hscd_compiler.Affine
+
+(* Brute-force reference for strided intervals. *)
+let elements (s : Sint.t) =
+  if s.step = 0 then [ s.lo ]
+  else
+    let rec go v acc = if v > s.hi then List.rev acc else go (v + s.step) (v :: acc) in
+    go s.lo []
+
+let gen_sint =
+  QCheck.Gen.(
+    map3 (fun lo len step -> Sint.make ~lo ~hi:(lo + len) ~step) (int_range (-30) 30)
+      (int_range 0 40) (int_range 0 7))
+
+let arb_sint = QCheck.make gen_sint ~print:Sint.to_string
+
+let qcheck_make_normalizes =
+  QCheck.Test.make ~name:"Sint.make produces well-formed intervals" ~count:500 arb_sint
+    (fun s ->
+      s.lo <= s.hi
+      && (s.step = 0) = (s.lo = s.hi)
+      && (s.step = 0 || (s.hi - s.lo) mod s.step = 0))
+
+let qcheck_mem_matches_elements =
+  QCheck.Test.make ~name:"Sint.mem agrees with enumeration" ~count:500
+    QCheck.(pair arb_sint (int_range (-40) 80))
+    (fun (s, v) -> Sint.mem v s = List.mem v (elements s))
+
+let qcheck_inter_exact =
+  QCheck.Test.make ~name:"Sint.inter_nonempty is exact" ~count:1000
+    QCheck.(pair arb_sint arb_sint)
+    (fun (a, b) ->
+      let brute = List.exists (fun v -> List.mem v (elements b)) (elements a) in
+      Sint.inter_nonempty a b = brute)
+
+let qcheck_union_superset =
+  QCheck.Test.make ~name:"Sint.union over-approximates both arguments" ~count:500
+    QCheck.(pair arb_sint arb_sint)
+    (fun (a, b) ->
+      let u = Sint.union a b in
+      List.for_all (fun v -> Sint.mem v u) (elements a)
+      && List.for_all (fun v -> Sint.mem v u) (elements b))
+
+let qcheck_subset_sound =
+  QCheck.Test.make ~name:"Sint.subset true implies real inclusion" ~count:500
+    QCheck.(pair arb_sint arb_sint)
+    (fun (a, b) ->
+      (not (Sint.subset a b)) || List.for_all (fun v -> Sint.mem v b) (elements a))
+
+let test_sint_specifics () =
+  (* the FLO52 regression: odd unit interval vs even stride-2 interval *)
+  let a = Sint.make ~lo:1 ~hi:6 ~step:1 and b = Sint.make ~lo:0 ~hi:6 ~step:2 in
+  Alcotest.(check bool) "1:6 meets evens" true (Sint.inter_nonempty a b);
+  let c = Sint.make ~lo:1 ~hi:7 ~step:2 in
+  Alcotest.(check bool) "odds avoid evens" false (Sint.inter_nonempty c b);
+  Alcotest.(check bool) "disjoint ranges" false
+    (Sint.inter_nonempty (Sint.interval 0 3) (Sint.interval 5 9));
+  Alcotest.(check bool) "singleton membership" true
+    (Sint.inter_nonempty (Sint.singleton 4) (Sint.make ~lo:0 ~hi:8 ~step:4))
+
+let test_multidim () =
+  let whole = Sections.whole [ 8; 8 ] in
+  let diag_box = Sections.of_points [ 3; 3 ] in
+  Alcotest.(check bool) "point in whole" true (Sections.inter_nonempty whole diag_box);
+  let evens = [ Sint.make ~lo:0 ~hi:6 ~step:2; Sint.make ~lo:0 ~hi:6 ~step:2 ] in
+  let odds = [ Sint.make ~lo:1 ~hi:7 ~step:2; Sint.make ~lo:1 ~hi:7 ~step:2 ] in
+  Alcotest.(check bool) "checkerboards disjoint" false (Sections.inter_nonempty evens odds);
+  (* disjoint in one dimension is enough *)
+  let row3 = [ Sint.singleton 3; Sint.interval 0 7 ] in
+  let row5 = [ Sint.singleton 5; Sint.interval 0 7 ] in
+  Alcotest.(check bool) "different rows disjoint" false (Sections.inter_nonempty row3 row5);
+  Alcotest.(check bool) "subset" true (Sections.subset row3 whole)
+
+let test_section_map () =
+  let m = Sections.Map.empty in
+  let m = Sections.Map.add m "a" [ Sint.interval 0 3 ] in
+  let m = Sections.Map.add m "a" [ Sint.interval 6 9 ] in
+  (match Sections.Map.find m "a" with
+  | Some [ s ] ->
+    Alcotest.(check bool) "union hull" true (Sint.mem 5 s) (* hull includes the gap *)
+  | _ -> Alcotest.fail "missing entry");
+  Alcotest.(check bool) "intersects" true (Sections.Map.intersects m "a" [ Sint.singleton 7 ]);
+  Alcotest.(check bool) "unknown array" false (Sections.Map.intersects m "b" [ Sint.singleton 0 ])
+
+(* --- affine forms --- *)
+
+let bindings = [ ("i", 3); ("j", -2); ("n", 10) ]
+
+let gen_affine =
+  QCheck.Gen.(
+    let var = oneofl [ "i"; "j"; "n" ] in
+    map2
+      (fun terms const ->
+        List.fold_left
+          (fun acc (v, c) -> Affine.add acc (Affine.var ~coef:c v))
+          (Affine.const const) terms)
+      (list_size (int_range 0 4) (pair var (int_range (-5) 5)))
+      (int_range (-20) 20))
+
+let arb_affine = QCheck.make gen_affine ~print:Affine.to_string
+
+let eval_exn a =
+  match Affine.eval bindings a with Some v -> v | None -> QCheck.assume_fail ()
+
+let qcheck_affine_add =
+  QCheck.Test.make ~name:"affine add is pointwise" ~count:500 QCheck.(pair arb_affine arb_affine)
+    (fun (a, b) -> eval_exn (Affine.add a b) = eval_exn a + eval_exn b)
+
+let qcheck_affine_sub_scale =
+  QCheck.Test.make ~name:"affine sub/scale are pointwise" ~count:500
+    QCheck.(triple arb_affine arb_affine (int_range (-4) 4))
+    (fun (a, b, k) ->
+      eval_exn (Affine.sub a b) = eval_exn a - eval_exn b
+      && eval_exn (Affine.scale k a) = k * eval_exn a)
+
+let qcheck_affine_subst =
+  QCheck.Test.make ~name:"affine substitution is evaluation" ~count:500
+    QCheck.(pair arb_affine arb_affine)
+    (fun (a, by) ->
+      let substituted = Affine.subst "i" by a in
+      let by_value = eval_exn by in
+      match Affine.eval (("i", by_value) :: List.remove_assoc "i" bindings) a with
+      | Some expected -> eval_exn substituted = expected
+      | None -> false)
+
+let qcheck_affine_range_sound =
+  QCheck.Test.make ~name:"affine range bounds every evaluation" ~count:500
+    QCheck.(triple arb_affine (int_range 0 5) (int_range 0 5))
+    (fun (a, i, j) ->
+      match Affine.range [ ("i", (0, 5)); ("j", (0, 5)); ("n", (10, 10)) ] a with
+      | None -> QCheck.assume_fail ()
+      | Some (lo, hi) -> (
+        match Affine.eval [ ("i", i); ("j", j); ("n", 10) ] a with
+        | Some v -> lo <= v && v <= hi
+        | None -> false))
+
+let test_affine_specifics () =
+  Alcotest.(check bool) "equal normal forms" true
+    (Affine.equal
+       (Affine.add (Affine.var "i") (Affine.var "j"))
+       (Affine.add (Affine.var "j") (Affine.var "i")));
+  Alcotest.(check bool) "unknown not equal to itself" false (Affine.equal Affine.unknown Affine.unknown);
+  Alcotest.(check (option int)) "is_const" (Some 5) (Affine.is_const (Affine.const 5));
+  Alcotest.(check int) "coef_of" 3 (Affine.coef_of "i" (Affine.var ~coef:3 "i"));
+  Alcotest.(check bool) "mul by non-const is unknown" true
+    (Affine.mul (Affine.var "i") (Affine.var "j") = Affine.unknown);
+  Alcotest.(check bool) "cancellation drops term" true
+    (Affine.is_const (Affine.sub (Affine.var "i") (Affine.var "i")) = Some 0)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_make_normalizes;
+    QCheck_alcotest.to_alcotest qcheck_mem_matches_elements;
+    QCheck_alcotest.to_alcotest qcheck_inter_exact;
+    QCheck_alcotest.to_alcotest qcheck_union_superset;
+    QCheck_alcotest.to_alcotest qcheck_subset_sound;
+    Alcotest.test_case "sint specifics" `Quick test_sint_specifics;
+    Alcotest.test_case "multidim sections" `Quick test_multidim;
+    Alcotest.test_case "section maps" `Quick test_section_map;
+    QCheck_alcotest.to_alcotest qcheck_affine_add;
+    QCheck_alcotest.to_alcotest qcheck_affine_sub_scale;
+    QCheck_alcotest.to_alcotest qcheck_affine_subst;
+    QCheck_alcotest.to_alcotest qcheck_affine_range_sound;
+    Alcotest.test_case "affine specifics" `Quick test_affine_specifics;
+  ]

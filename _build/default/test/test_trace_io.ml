@@ -1,0 +1,70 @@
+(** Round-trip tests for the trace serializer, plus replay equivalence:
+    simulating a reloaded trace must give identical results. *)
+
+module Run = Hscd_sim.Run
+module Trace = Hscd_sim.Trace
+module Trace_io = Hscd_sim.Trace_io
+module Metrics = Hscd_sim.Metrics
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let test_roundtrip_stencil () =
+  let c = Run.compile (Hscd_workloads.Kernels.jacobi1d ~n:32 ~iters:2 ()) in
+  let path = tmp "hscd_trace_stencil.txt" in
+  Trace_io.save path c.Run.trace;
+  let loaded = Trace_io.load path in
+  Sys.remove path;
+  Alcotest.(check bool) "round-trip equal" true (Trace_io.equal c.Run.trace loaded);
+  Alcotest.(check int) "events preserved" c.Run.trace.Trace.total_events loaded.Trace.total_events
+
+let test_roundtrip_critical () =
+  (* locks and bypass marks must survive serialization *)
+  let c = Run.compile (Hscd_workloads.Kernels.reduction ~n:16 ()) in
+  let path = tmp "hscd_trace_crit.txt" in
+  Trace_io.save path c.Run.trace;
+  let loaded = Trace_io.load path in
+  Sys.remove path;
+  Alcotest.(check bool) "round-trip equal" true (Trace_io.equal c.Run.trace loaded)
+
+let test_replay_equivalence () =
+  let c = Run.compile (Hscd_workloads.Kernels.matmul ~n:10 ()) in
+  let path = tmp "hscd_trace_mm.txt" in
+  Trace_io.save path c.Run.trace;
+  let loaded = Trace_io.load path in
+  Sys.remove path;
+  let a = Run.simulate Run.TPI c.Run.trace in
+  let b = Run.simulate Run.TPI loaded in
+  Alcotest.(check int) "same cycles" a.cycles b.cycles;
+  Alcotest.(check (float 1e-12)) "same miss rate"
+    (Metrics.miss_rate a.metrics) (Metrics.miss_rate b.metrics);
+  Alcotest.(check int) "coherent" 0 b.metrics.violations
+
+let test_bad_input_rejected () =
+  let path = tmp "hscd_trace_bad.txt" in
+  let oc = open_out path in
+  output_string oc "hscd-trace 1\nnonsense line here\n";
+  close_out oc;
+  (match Trace_io.load path with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected Failure on malformed trace");
+  Sys.remove path
+
+let test_mark_strings () =
+  let open Hscd_arch.Event in
+  List.iter
+    (fun m -> Alcotest.(check bool) "rmark round-trip" true
+        (Trace_io.mark_of_str (Trace_io.mark_str m) = m))
+    [ Unmarked; Normal_read; Bypass_read; Time_read 0; Time_read 12 ];
+  List.iter
+    (fun m -> Alcotest.(check bool) "wmark round-trip" true
+        (Trace_io.wmark_of_str (Trace_io.wmark_str m) = m))
+    [ Normal_write; Bypass_write ]
+
+let suite =
+  [
+    Alcotest.test_case "round-trip stencil" `Quick test_roundtrip_stencil;
+    Alcotest.test_case "round-trip critical" `Quick test_roundtrip_critical;
+    Alcotest.test_case "replay equivalence" `Quick test_replay_equivalence;
+    Alcotest.test_case "bad input rejected" `Quick test_bad_input_rejected;
+    Alcotest.test_case "mark strings" `Quick test_mark_strings;
+  ]

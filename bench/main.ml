@@ -110,6 +110,19 @@ let micro_tests =
     (* scheduling: trace generation (interpreter throughput) *)
     Test.make ~name:"scheduling/trace_generation_jacobi64"
       (Staged.stage (fun () -> ignore (Hscd_sim.Trace.of_program small_stencil)));
+    (* fuzz: differential-oracle throughput — one fixed generated trace
+       through all four schemes plus monitors (the fuzzing hot path) *)
+    Test.make ~name:"fuzz/differential_oracle"
+      (let prng = Hscd_util.Prng.of_int 42 in
+       let params = Hscd_check.Fuzz.corpus_presets |> List.hd |> snd in
+       let trace = Hscd_check.Gen.generate prng params in
+       let cfg = Hscd_check.Gen.cfg_of params in
+       Staged.stage (fun () -> ignore (Hscd_check.Oracle.run cfg trace)));
+    (* fuzz: trace generation + golden resolution throughput *)
+    Test.make ~name:"fuzz/trace_generation"
+      (let params = Hscd_check.Fuzz.corpus_presets |> List.hd |> snd in
+       let prng = Hscd_util.Prng.of_int 7 in
+       Staged.stage (fun () -> ignore (Hscd_check.Gen.generate prng params)));
     (* cachesize: raw cache probe/allocate loop *)
     Test.make ~name:"cachesize/cache_probe_allocate"
       (let cache = Hscd_cache.Cache.create Hscd_arch.Config.default in

@@ -6,6 +6,7 @@
     - [sim <file|bench>]: simulate one scheme and print its metrics;
     - [compare <file|bench>]: all four schemes side by side;
     - [experiment <id>|all]: regenerate a paper table/figure;
+    - [fuzz]: differential fuzzing of the coherence schemes;
     - [list]: available benchmarks and experiments. *)
 
 open Cmdliner
@@ -152,6 +153,90 @@ let replay_cmd =
   Cmd.v (Cmd.info "replay" ~doc:"Simulate a previously dumped trace file")
     Term.(const run $ path_arg $ scheme_arg $ procs_arg $ line_arg $ tag_arg)
 
+let fuzz_cmd =
+  let module F = Hscd_check.Fuzz in
+  let module Oracle = Hscd_check.Oracle in
+  let run seed count no_shrink save corpus write_corpus =
+    match (write_corpus, corpus) with
+    | Some dir, _ ->
+      (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      let paths = F.write_corpus ~dir in
+      List.iter (fun p -> Printf.printf "wrote %s\n" p) paths
+    | None, Some dir ->
+      if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+        Printf.eprintf "%s: not a directory\n" dir;
+        exit 1
+      end;
+      let files =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".trace")
+        |> List.sort compare
+        |> List.map (Filename.concat dir)
+      in
+      if files = [] then begin
+        Printf.eprintf "no .trace files in %s\n" dir;
+        exit 1
+      end;
+      let bad = ref 0 in
+      List.iter
+        (fun (path, o) ->
+          if Oracle.ok o then Printf.printf "%-40s ok\n" path
+          else begin
+            incr bad;
+            Printf.printf "%-40s FAIL\n%s" path (Oracle.describe o)
+          end)
+        (F.replay_corpus files);
+      if !bad > 0 then exit 1
+    | None, None ->
+      let r = F.fuzz ~shrink:(not no_shrink) ~seed ~count () in
+      Printf.printf "fuzz: %d iterations, %d events, %d failure(s)\n" r.F.iterations
+        r.F.total_events
+        (List.length r.F.failures);
+      List.iter
+        (fun (f : F.failure) ->
+          Printf.printf "\nFAILURE at iteration %d\n  params: %s\n%s"
+            f.F.index (Hscd_check.Gen.describe f.F.params)
+            (Oracle.describe f.F.outcome);
+          (match f.F.shrunk with
+          | Some t ->
+            Printf.printf "  shrunk from %d to %d events\n"
+              (Hscd_check.Shrink.event_count f.F.trace)
+              (Hscd_check.Shrink.event_count t)
+          | None -> ());
+          match save with
+          | Some dir ->
+            (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+            let trace = Option.value f.F.shrunk ~default:f.F.trace in
+            let path =
+              Filename.concat dir (Printf.sprintf "repro-seed%d-iter%d.trace" seed f.F.index)
+            in
+            Hscd_sim.Trace_io.save path trace;
+            Printf.printf "  repro written to %s\n" path
+          | None -> ())
+        r.F.failures;
+      if r.F.failures <> [] then exit 1
+  in
+  let seed_arg = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Master PRNG seed") in
+  let count_arg = Arg.(value & opt int 100 & info [ "count" ] ~doc:"Number of iterations") in
+  let no_shrink_arg =
+    Arg.(value & flag & info [ "no-shrink" ] ~doc:"Skip delta-debugging of failures")
+  in
+  let save_arg =
+    Arg.(value & opt (some string) None & info [ "save" ] ~docv:"DIR" ~doc:"Write failing repro traces to $(docv)")
+  in
+  let corpus_arg =
+    Arg.(value & opt (some string) None
+         & info [ "corpus" ] ~docv:"DIR" ~doc:"Replay all .trace files in $(docv) instead of fuzzing")
+  in
+  let write_corpus_arg =
+    Arg.(value & opt (some string) None
+         & info [ "write-corpus" ] ~docv:"DIR" ~doc:"Regenerate the seed corpus into $(docv) and exit")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differential fuzzing: random traces through all four schemes with invariant monitors")
+    Term.(const run $ seed_arg $ count_arg $ no_shrink_arg $ save_arg $ corpus_arg $ write_corpus_arg)
+
 let list_cmd =
   let run () =
     print_endline "Perfect Club benchmark models:";
@@ -170,4 +255,4 @@ let list_cmd =
 
 let () =
   let info = Cmd.info "hscd" ~version:"1.0.0" ~doc:"HSCD cache coherence reproduction (Choi & Yew, ISCA'96)" in
-  exit (Cmd.eval (Cmd.group info [ mark_cmd; sim_cmd; compare_cmd; experiment_cmd; trace_cmd; replay_cmd; list_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ mark_cmd; sim_cmd; compare_cmd; experiment_cmd; trace_cmd; replay_cmd; fuzz_cmd; list_cmd ]))

@@ -1,0 +1,64 @@
+(** Fault injection: wrappers that graft realistic coherence bugs onto a
+    correct scheme, used to validate that the differential oracle and the
+    shrinker actually catch and minimize them (mutation testing of the
+    test oracle itself).
+
+    - [Stale_time_read k] widens every Time-Read window by [k] epochs —
+      the classic off-by-one in the timetag age comparison, which lets a
+      processor consume values older than the compiler proved safe;
+    - [Ignore_time_read] drops the age check entirely (a Time-Read
+      behaves like a Normal read and may hit any stale resident copy);
+    - [Skip_epoch_boundary] loses the scheme's epoch-boundary work
+      (epoch-counter increments, two-phase resets, buffer drains) — the
+      stuck-counter failure mode of timetag hardware;
+    - [Corrupt_read_value n] returns an off-by-one value on every n-th
+      read — a data-path fault the provenance monitor must flag. *)
+
+module Event = Hscd_arch.Event
+module Scheme = Hscd_coherence.Scheme
+
+type t =
+  | Stale_time_read of int
+  | Ignore_time_read
+  | Skip_epoch_boundary
+  | Corrupt_read_value of int
+
+let name = function
+  | Stale_time_read k -> Printf.sprintf "stale-time-read+%d" k
+  | Ignore_time_read -> "ignore-time-read"
+  | Skip_epoch_boundary -> "skip-epoch-boundary"
+  | Corrupt_read_value n -> Printf.sprintf "corrupt-read-%d" n
+
+let wrap fault ~processors (Scheme.Packed ((module S), s)) : Scheme.packed =
+  let reads = ref 0 in
+  let module F = struct
+    type t = unit
+
+    let name = S.name ^ "!" ^ name fault
+    let create _ ~memory_words:_ ~network:_ ~traffic:_ = ()
+
+    let read () ~proc ~addr ~array ~mark =
+      let mark =
+        match (fault, mark) with
+        | Stale_time_read k, Event.Time_read d -> Event.Time_read (d + k)
+        | Ignore_time_read, Event.Time_read _ -> Event.Normal_read
+        | _ -> mark
+      in
+      let r = S.read s ~proc ~addr ~array ~mark in
+      match fault with
+      | Corrupt_read_value n ->
+        incr reads;
+        if !reads mod n = 0 then { r with Scheme.value = r.Scheme.value + 1 } else r
+      | _ -> r
+
+    let write () ~proc ~addr ~array ~value ~mark = S.write s ~proc ~addr ~array ~value ~mark
+
+    let epoch_boundary () =
+      match fault with
+      | Skip_epoch_boundary -> Array.make processors 0
+      | _ -> S.epoch_boundary s
+
+    let stats () = S.stats s
+    let memory_image () = S.memory_image s
+  end in
+  Scheme.Packed ((module F), ())

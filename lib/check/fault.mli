@@ -1,0 +1,13 @@
+(** Fault injection wrappers grafting realistic coherence bugs onto a
+    correct scheme, for validating the oracle and shrinker. *)
+
+type t =
+  | Stale_time_read of int  (** widen every Time-Read window by k epochs *)
+  | Ignore_time_read  (** treat Time-Read as Normal (no age check) *)
+  | Skip_epoch_boundary  (** lose all epoch-boundary work (stuck counter) *)
+  | Corrupt_read_value of int  (** off-by-one value on every n-th read *)
+
+val name : t -> string
+
+val wrap :
+  t -> processors:int -> Hscd_coherence.Scheme.packed -> Hscd_coherence.Scheme.packed

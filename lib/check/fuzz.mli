@@ -1,0 +1,48 @@
+(** Fuzzing driver: deterministic random trace generation, differential
+    oracle checks, failure shrinking, and the checked-in seed corpus. *)
+
+type failure = {
+  index : int;  (** iteration index; with the seed, a complete repro recipe *)
+  params : Gen.params;
+  trace : Hscd_sim.Trace.t;
+  shrunk : Hscd_sim.Trace.t option;
+  outcome : Oracle.t;
+}
+
+type report = {
+  iterations : int;
+  total_events : int;
+  failures : failure list;
+}
+
+(** [fuzz ~seed ~count ()] runs [count] generate/oracle iterations.
+    Iteration [i] is a deterministic function of [seed] alone. [fault]
+    injects a bug into one scheme (oracle self-validation); [shrink]
+    (default true) delta-debugs each failure; stops early after
+    [max_failures] (default 5) failures. *)
+val fuzz :
+  ?schemes:Hscd_sim.Run.scheme_kind list ->
+  ?fault:Hscd_sim.Run.scheme_kind * Fault.t ->
+  ?shrink:bool ->
+  ?max_failures:int ->
+  seed:int ->
+  count:int ->
+  unit ->
+  report
+
+(** Configuration all corpus traces are generated and replayed under. *)
+val corpus_cfg : Hscd_arch.Config.t
+
+(** Named generator presets backing the seed corpus. *)
+val corpus_presets : (string * Gen.params) list
+
+(** Base PRNG seed for corpus generation; preset [name] uses
+    [corpus_seed + Hashtbl.hash name]. *)
+val corpus_seed : int
+
+(** Write one deterministic trace per preset into [dir]; returns paths. *)
+val write_corpus : dir:string -> string list
+
+(** Replay trace files under {!corpus_cfg}; one oracle verdict per file. *)
+val replay_corpus :
+  ?schemes:Hscd_sim.Run.scheme_kind list -> string list -> (string * Oracle.t) list

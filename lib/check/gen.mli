@@ -1,0 +1,40 @@
+(** Randomized well-formed epoch/trace generation for differential
+    fuzzing: race-free epoch programs with soundly marked references,
+    parameterized by machine shape and sharing structure, plus adversarial
+    modes for timetag recycling, task migration and false-sharing
+    layouts. *)
+
+type adversary = Plain | Timetag_wrap | Migration | False_sharing_layout
+
+val adversary_name : adversary -> string
+
+type params = {
+  procs : int;
+  epochs : int;
+  max_tasks : int;  (** per parallel epoch *)
+  data_lines : int;  (** shared-data size in cache lines *)
+  line_words : int;
+  timetag_bits : int;
+  cache_bytes : int;
+  scheduling : Hscd_arch.Config.scheduling;
+  migration_rate : float;
+  serial_prob : float;
+  sharing : float;  (** fraction of reads aimed at data not written this epoch *)
+  write_prob : float;
+  lock_prob : float;
+  compute_prob : float;
+  max_events : int;  (** per task *)
+  adversary : adversary;
+}
+
+val describe : params -> string
+
+(** The (validated) machine configuration the params encode; traces from
+    [generate] carry marks that are sound for exactly this
+    configuration. *)
+val cfg_of : params -> Hscd_arch.Config.t
+
+val random_params : Hscd_util.Prng.t -> params
+
+(** A fresh race-free trace with golden values already resolved. *)
+val generate : Hscd_util.Prng.t -> params -> Hscd_sim.Trace.t

@@ -1,0 +1,24 @@
+(** Per-step invariant monitors layered over any coherence scheme: value
+    provenance (no load returns a never-written value), Time-Read window
+    enforcement, bypass freshness, and epoch-boundary sanity. *)
+
+type violation = { epoch : int; proc : int; addr : int; kind : string; detail : string }
+
+val violation_to_string : violation -> string
+
+type t
+
+val max_violations : int
+
+val create : processors:int -> words:int -> t
+
+(** Violations in detection order (capped at {!max_violations}). *)
+val report : t -> violation list
+
+(** Number of epoch boundaries observed — the oracle checks it equals the
+    trace's epoch count (monotone lockstep epoch counters). *)
+val boundaries : t -> int
+
+(** Decorate a packed scheme instance so every access and boundary is
+    checked against the monitor's shadow model. *)
+val wrap : t -> Hscd_coherence.Scheme.packed -> Hscd_coherence.Scheme.packed

@@ -1,0 +1,158 @@
+(** Greedy delta-debugging of failing traces.
+
+    Repeatedly tries structure-preserving reductions — drop an epoch, empty
+    a task, drop one event unit (a critical section Lock..Unlock block is
+    one unit, so tickets stay balanced), strip Compute padding, then
+    garbage-collect empty tasks/epochs — re-resolving golden values after
+    every candidate mutation so the shrunk trace is still a well-formed
+    input, and keeping any mutation under which the caller's [failing]
+    predicate still holds. Tasks are emptied rather than removed while
+    shrinking events so the epoch's task count (and hence the static
+    task→processor map that read marks may rely on) is preserved; removal
+    is attempted only as a final, predicate-checked cleanup. *)
+
+module Event = Hscd_arch.Event
+module Trace = Hscd_sim.Trace
+
+let event_count (t : Trace.t) =
+  Array.fold_left
+    (fun acc (e : Trace.epoch) ->
+      Array.fold_left (fun acc (task : Trace.task) -> acc + Array.length task.events) acc e.tasks)
+    0 t.epochs
+
+(* One event, or a whole Lock..Unlock section kept atomic. *)
+let units_of_events (evs : Event.t array) : Event.t list list =
+  let units = ref [] and cur = ref [] and depth = ref 0 in
+  Array.iter
+    (fun ev ->
+      match ev with
+      | Event.Lock ->
+        incr depth;
+        cur := [ ev ]
+      | Event.Unlock ->
+        decr depth;
+        cur := ev :: !cur;
+        if !depth <= 0 then begin
+          units := List.rev !cur :: !units;
+          cur := []
+        end
+      | _ ->
+        if !depth > 0 then cur := ev :: !cur else units := [ ev ] :: !units)
+    evs;
+  if !cur <> [] then units := List.rev !cur :: !units;
+  List.rev !units
+
+let drop_index arr i =
+  Array.of_list (List.filteri (fun j _ -> j <> i) (Array.to_list arr))
+
+let with_task_events (t : Trace.t) ~epoch ~task events =
+  let epochs =
+    Array.mapi
+      (fun ei (e : Trace.epoch) ->
+        if ei <> epoch then e
+        else
+          { e with
+            tasks =
+              Array.mapi
+                (fun ti (tk : Trace.task) -> if ti = task then { tk with events } else tk)
+                e.tasks })
+      t.epochs
+  in
+  { t with epochs }
+
+let minimize ?(max_rounds = 12) ~failing (trace : Trace.t) : Trace.t =
+  let cur = ref (Golden.resolve trace) in
+  let try_candidate cand =
+    let cand = Golden.resolve cand in
+    if failing cand then begin
+      cur := cand;
+      true
+    end
+    else false
+  in
+  let progress = ref true in
+  let rounds = ref 0 in
+  while !progress && !rounds < max_rounds do
+    progress := false;
+    incr rounds;
+    (* 1. whole epochs, from the end (later epochs depend on earlier writes) *)
+    let ei = ref (Array.length !cur.Trace.epochs - 1) in
+    while !ei >= 0 do
+      if Array.length !cur.Trace.epochs > 1 then
+        if try_candidate { !cur with Trace.epochs = drop_index !cur.Trace.epochs !ei } then
+          progress := true;
+      decr ei
+    done;
+    (* 2. whole tasks (emptied in place to keep the task→proc map stable) *)
+    Array.iteri
+      (fun ei (e : Trace.epoch) ->
+        Array.iteri
+          (fun ti (tk : Trace.task) ->
+            if Array.length tk.events > 0 then
+              if try_candidate (with_task_events !cur ~epoch:ei ~task:ti [||]) then
+                progress := true)
+          e.tasks)
+      !cur.Trace.epochs;
+    (* 3. single event units within each remaining task *)
+    Array.iteri
+      (fun ei (e : Trace.epoch) ->
+        Array.iteri
+          (fun ti (tk : Trace.task) ->
+            let units = ref (units_of_events tk.events) in
+            let ui = ref 0 in
+            while !ui < List.length !units do
+              let cand_units = List.filteri (fun j _ -> j <> !ui) !units in
+              let events = Array.of_list (List.concat cand_units) in
+              if try_candidate (with_task_events !cur ~epoch:ei ~task:ti events) then begin
+                units := cand_units;
+                progress := true
+              end
+              else incr ui
+            done)
+          e.tasks)
+      !cur.Trace.epochs;
+    (* 4. strip all Compute padding in one shot *)
+    let no_compute =
+      {
+        !cur with
+        Trace.epochs =
+          Array.map
+            (fun (e : Trace.epoch) ->
+              { e with
+                tasks =
+                  Array.map
+                    (fun (tk : Trace.task) ->
+                      { tk with
+                        events =
+                          Array.of_list
+                            (List.filter
+                               (function Event.Compute _ -> false | _ -> true)
+                               (Array.to_list tk.events)) })
+                    e.tasks })
+            !cur.Trace.epochs;
+      }
+    in
+    if event_count no_compute < event_count !cur && try_candidate no_compute then
+      progress := true;
+    (* 5. cleanup: drop empty tasks and empty epochs (changes the task→proc
+       map, so it must survive the predicate like any other mutation) *)
+    let cleaned =
+      {
+        !cur with
+        Trace.epochs =
+          Array.of_list
+            (List.filter_map
+               (fun (e : Trace.epoch) ->
+                 let tasks =
+                   Array.of_list
+                     (List.filter
+                        (fun (tk : Trace.task) -> Array.length tk.events > 0)
+                        (Array.to_list e.tasks))
+                 in
+                 if Array.length tasks = 0 then None else Some { e with tasks })
+               (Array.to_list !cur.Trace.epochs));
+      }
+    in
+    if cleaned.Trace.epochs <> !cur.Trace.epochs && try_candidate cleaned then progress := true
+  done;
+  !cur

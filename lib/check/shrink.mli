@@ -1,0 +1,16 @@
+(** Greedy delta-debugging of failing traces: drops epochs, tasks and
+    event units (critical sections stay atomic), re-resolving golden
+    values after every mutation, until the caller's failure predicate no
+    longer holds for any smaller candidate. *)
+
+(** Total events (including compute and lock events) across the trace. *)
+val event_count : Hscd_sim.Trace.t -> int
+
+(** Minimize a failing trace. [failing] receives a golden-resolved
+    candidate and returns true when it still exhibits the failure; the
+    input trace is assumed failing. *)
+val minimize :
+  ?max_rounds:int ->
+  failing:(Hscd_sim.Trace.t -> bool) ->
+  Hscd_sim.Trace.t ->
+  Hscd_sim.Trace.t

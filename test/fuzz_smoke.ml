@@ -1,0 +1,38 @@
+(* Fuzz smoke test: 100 fixed-seed differential-fuzzing iterations plus a
+   replay of the checked-in seed corpus. Runs under `dune runtest` and the
+   @fuzz-smoke alias; exits non-zero on any oracle failure. *)
+
+module Fuzz = Hscd_check.Fuzz
+module Oracle = Hscd_check.Oracle
+
+let () =
+  let r = Fuzz.fuzz ~seed:42 ~count:100 () in
+  Printf.printf "fuzz-smoke: %d iterations, %d events, %d failure(s)\n" r.Fuzz.iterations
+    r.Fuzz.total_events
+    (List.length r.Fuzz.failures);
+  List.iter
+    (fun (f : Fuzz.failure) ->
+      Printf.printf "failure at iteration %d: %s\n%s" f.Fuzz.index
+        (Hscd_check.Gen.describe f.Fuzz.params)
+        (Oracle.describe f.Fuzz.outcome))
+    r.Fuzz.failures;
+  let bad = ref (r.Fuzz.failures <> []) in
+  let corpus =
+    Sys.readdir "corpus" |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".trace")
+    |> List.sort compare
+    |> List.map (Filename.concat "corpus")
+  in
+  if corpus = [] then begin
+    print_endline "fuzz-smoke: no corpus files found";
+    bad := true
+  end;
+  List.iter
+    (fun (path, o) ->
+      if Oracle.ok o then Printf.printf "corpus %s ok\n" (Filename.basename path)
+      else begin
+        bad := true;
+        Printf.printf "corpus %s FAIL\n%s" (Filename.basename path) (Oracle.describe o)
+      end)
+    (Fuzz.replay_corpus corpus);
+  if !bad then exit 1

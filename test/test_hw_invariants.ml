@@ -113,8 +113,41 @@ let qcheck_reads_return_last_write =
             = shadow.(addr))
         ops)
 
+(* Directed TPI regression: a Time-Read whose window spans a 4-bit
+   timetag wrap must be classified as a two-phase-reset miss, never a hit
+   on the recycled tag. *)
+let test_tpi_timetag_wrap_reset () =
+  let module Tpi = Hscd_coherence.Tpi in
+  let module Scheme = Hscd_coherence.Scheme in
+  let cfg = Config.validate { cfg with timetag_bits = 4 (* phase = 8 epochs *) } in
+  let net = Kruskal_snir.create cfg and traffic = Traffic.create cfg in
+  let tpi = Tpi.create cfg ~memory_words ~network:net ~traffic in
+  (* epoch 0: proc 0 caches addr 0 (fill stamps tag 0) *)
+  let r0 = Tpi.read tpi ~proc:0 ~addr:0 ~array:"m" ~mark:(Event.Time_read 0) in
+  Alcotest.(check bool) "initial fill misses" true (r0.Scheme.cls <> Scheme.Hit);
+  (* pre-wrap control: two epochs later the copy is still a Time-Read hit *)
+  ignore (Tpi.epoch_boundary tpi);
+  ignore (Tpi.epoch_boundary tpi);
+  let pre = Tpi.read tpi ~proc:0 ~addr:0 ~array:"m" ~mark:(Event.Time_read 2) in
+  Alcotest.(check bool) "age-2 word hits inside a wide window" true
+    (pre.Scheme.cls = Scheme.Hit);
+  (* six more boundaries reach epoch 8 = one full phase: the reset wipes
+     the (now age-8) word even though a naive 4-bit age comparison against
+     a d >= 8 window would have called it a hit *)
+  for _ = 1 to 6 do
+    ignore (Tpi.epoch_boundary tpi)
+  done;
+  let post = Tpi.read tpi ~proc:0 ~addr:0 ~array:"m" ~mark:(Event.Time_read 8) in
+  Alcotest.(check bool) "wrapped word does not hit" true (post.Scheme.cls <> Scheme.Hit);
+  Alcotest.(check bool)
+    (Printf.sprintf "classified Reset_inv (got %s)" (Scheme.class_name post.Scheme.cls))
+    true
+    (post.Scheme.cls = Scheme.Reset_inv)
+
 let suite =
   [
     QCheck_alcotest.to_alcotest qcheck_directory_invariants;
     QCheck_alcotest.to_alcotest qcheck_reads_return_last_write;
+    Alcotest.test_case "TPI time-read across a 4-bit timetag wrap" `Quick
+      test_tpi_timetag_wrap_reset;
   ]

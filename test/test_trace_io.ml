@@ -60,9 +60,77 @@ let test_mark_strings () =
         (Trace_io.wmark_of_str (Trace_io.wmark_str m) = m))
     [ Normal_write; Bypass_write ]
 
+let test_roundtrip_generated () =
+  (* property: read (write t) = t for randomly generated fuzz traces,
+     which cover every mark, lock sections and both epoch kinds *)
+  for seed = 0 to 11 do
+    let prng = Hscd_util.Prng.of_int seed in
+    let params = Hscd_check.Gen.random_params prng in
+    let trace = Hscd_check.Gen.generate prng params in
+    let path = tmp (Printf.sprintf "hscd_trace_gen%d.txt" seed) in
+    Trace_io.save path trace;
+    let loaded = Trace_io.load path in
+    Sys.remove path;
+    Alcotest.(check bool)
+      (Printf.sprintf "generated trace %d round-trips" seed)
+      true
+      (Trace_io.equal trace loaded)
+  done
+
+let degenerate_layout words : Hscd_lang.Shape.layout =
+  let arrays = Hashtbl.create 1 in
+  Hashtbl.replace arrays "A" { Hscd_lang.Shape.name = "A"; dims = [ words ]; size = words; base = 0 };
+  { Hscd_lang.Shape.arrays; total_words = words }
+
+let test_roundtrip_degenerate () =
+  (* empty trace: no epochs at all *)
+  let empty =
+    {
+      Trace.epochs = [||];
+      layout = degenerate_layout 1;
+      golden_memory = [| 0 |];
+      total_events = 0;
+    }
+  in
+  (* single-event trace: one serial epoch, one task, one read *)
+  let single =
+    {
+      Trace.epochs =
+        [|
+          {
+            Trace.kind = Trace.Serial;
+            tasks =
+              [|
+                {
+                  Trace.iter = 0;
+                  events =
+                    [|
+                      Hscd_arch.Event.Read
+                        { addr = 0; mark = Hscd_arch.Event.Unmarked; value = 0; array = "A" };
+                    |];
+                };
+              |];
+          };
+        |];
+      layout = degenerate_layout 1;
+      golden_memory = [| 0 |];
+      total_events = 1;
+    }
+  in
+  List.iter
+    (fun (name, trace) ->
+      let path = tmp ("hscd_trace_" ^ name ^ ".txt") in
+      Trace_io.save path trace;
+      let loaded = Trace_io.load path in
+      Sys.remove path;
+      Alcotest.(check bool) (name ^ " round-trips") true (Trace_io.equal trace loaded))
+    [ ("empty", empty); ("single", single) ]
+
 let suite =
   [
     Alcotest.test_case "round-trip stencil" `Quick test_roundtrip_stencil;
+    Alcotest.test_case "round-trip generated fuzz traces" `Quick test_roundtrip_generated;
+    Alcotest.test_case "round-trip empty and single-event" `Quick test_roundtrip_degenerate;
     Alcotest.test_case "round-trip critical" `Quick test_roundtrip_critical;
     Alcotest.test_case "replay equivalence" `Quick test_replay_equivalence;
     Alcotest.test_case "bad input rejected" `Quick test_bad_input_rejected;

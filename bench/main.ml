@@ -140,10 +140,19 @@ let () =
   print_endline " (Choi & Yew, ISCA 1996 — see EXPERIMENTS.md for the comparison)";
   print_endline "==================================================================";
   print_newline ();
-  List.iter (fun e -> Hscd_experiments.Experiments.run_and_print e) Hscd_experiments.Experiments.all;
+  let jobs = Hscd_util.Pool.default_jobs () in
+  List.iter
+    (fun e -> Hscd_experiments.Experiments.run_and_print ~jobs e)
+    Hscd_experiments.Experiments.all;
   print_endline "==================================================================";
   print_endline " Bechamel microbenchmarks (one per reproduced table)";
   print_endline "==================================================================";
   run_and_report micro_tests;
+  print_newline ();
+  print_endline "==================================================================";
+  print_endline " Engine throughput and multicore fan-out";
+  print_endline "==================================================================";
+  Perf.engine_throughput ();
+  Perf.compare_wall_clock ();
   print_newline ();
   print_endline "bench: done."

@@ -1,0 +1,59 @@
+(** Wall-clock performance probes shared by the full bench harness and the
+    standalone [throughput] runner: engine event throughput at P=64 and
+    the multicore all-schemes comparison at jobs=1 vs jobs=N. *)
+
+(* engine/events_per_sec: a large jacobi trace replayed on a 64-processor
+   machine — the scaling regime the ready-heap targets (the old engine
+   paid two O(P) scans per event). The Base scheme is the engine-path
+   number (near-zero coherence-model cost, so scheduling overhead
+   dominates); TPI is shown alongside for the end-to-end figure. *)
+let engine_throughput () =
+  let cfg = { Hscd_arch.Config.default with processors = 64 } in
+  let prog = Hscd_workloads.Kernels.jacobi1d ~n:4096 ~iters:4 () in
+  let c = Hscd_sim.Run.compile ~cfg prog in
+  let events = c.Hscd_sim.Run.trace.total_events in
+  let measure kind =
+    (* warm up, then time a fixed number of replays *)
+    ignore (Hscd_sim.Run.simulate ~cfg kind c.trace);
+    let reps = 3 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (Hscd_sim.Run.simulate ~cfg kind c.trace)
+    done;
+    let dt = (Unix.gettimeofday () -. t0) /. float_of_int reps in
+    (float_of_int events /. dt, dt)
+  in
+  let base_eps, base_dt = measure Hscd_sim.Run.Base in
+  let tpi_eps, tpi_dt = measure Hscd_sim.Run.TPI in
+  Printf.printf
+    "  engine/events_per_sec                      %12.0f ev/s (P=64, %d events, %.3f s/run)\n%!"
+    base_eps events base_dt;
+  Printf.printf
+    "  engine/events_per_sec (TPI end-to-end)     %12.0f ev/s (P=64, %d events, %.3f s/run)\n%!"
+    tpi_eps events tpi_dt
+
+(* compare_all_schemes: the paper's methodology (one trace, every scheme)
+   at jobs=1 vs jobs=N — the multicore experiment-runner speedup. Results
+   are bit-identical; only the wall clock moves. *)
+let compare_wall_clock () =
+  let cfg = { Hscd_arch.Config.default with processors = 16 } in
+  let prog = Hscd_workloads.Kernels.jacobi1d ~n:1024 ~iters:4 () in
+  let time jobs =
+    let t0 = Unix.gettimeofday () in
+    let _, results = Hscd_sim.Run.compare ~cfg ~jobs prog in
+    (Unix.gettimeofday () -. t0, results)
+  in
+  let seq, r1 = time 1 in
+  let jobs = max 2 (Hscd_util.Pool.default_jobs ()) in
+  let par, rn = time jobs in
+  let identical =
+    List.for_all2
+      (fun (a : Hscd_sim.Run.comparison) (b : Hscd_sim.Run.comparison) ->
+        a.kind = b.kind && a.result = b.result)
+      r1 rn
+  in
+  Printf.printf "  compare_all_schemes jobs=1                 %12.3f s\n" seq;
+  Printf.printf
+    "  compare_all_schemes jobs=%-2d                %12.3f s (speedup %.2fx, results %s)\n%!"
+    jobs par (seq /. par)
+    (if identical then "bit-identical" else "DIVERGED")

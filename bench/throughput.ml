@@ -1,0 +1,6 @@
+(* Standalone engine-throughput probe: the two wall-clock benches of
+   bench/main.ml's part 3 without the full table regeneration — a quick
+   before/after check when touching the engine hot path. *)
+let () =
+  Perf.engine_throughput ();
+  Perf.compare_wall_clock ()

@@ -55,6 +55,20 @@ let line_arg =
 
 let tag_arg = Arg.(value & opt int 8 & info [ "timetag-bits" ] ~doc:"TPI timetag width")
 
+(* --jobs N: domains for the scheme/experiment fan-out. Default: HSCD_JOBS
+   if set, else Domain.recommended_domain_count (). Any value produces
+   bit-identical results; it only changes wall-clock time. *)
+let jobs_arg =
+  Arg.(value & opt (some int) None
+       & info [ "j"; "jobs" ]
+           ~doc:"Worker domains for parallel simulation (default: $(b,HSCD_JOBS) or the \
+                 recommended domain count); results are identical for any value")
+
+let resolve_jobs = function
+  | Some n when n > 0 -> n
+  | Some _ -> 1
+  | None -> Hscd_util.Pool.default_jobs ()
+
 let cfg_of processors line_words timetag_bits =
   { Hscd_arch.Config.default with processors; line_words; timetag_bits }
 
@@ -101,24 +115,30 @@ let sim_cmd =
     Term.(const run $ program_arg $ scheme_arg $ procs_arg $ line_arg $ tag_arg)
 
 let compare_cmd =
-  let run name procs line tag =
+  let run name procs line tag jobs =
     let cfg = cfg_of procs line tag in
     let prog = read_program name in
-    let c, results = Hscd_sim.Run.compare ~cfg ~schemes:Hscd_sim.Run.extended_schemes prog in
+    let c, results =
+      Hscd_sim.Run.compare ~cfg ~schemes:Hscd_sim.Run.extended_schemes
+        ~jobs:(resolve_jobs jobs) prog
+    in
     Printf.printf "epochs %d, events %d\n" (Hscd_sim.Trace.n_epochs c.trace) c.trace.total_events;
     List.iter (fun (r : Hscd_sim.Run.comparison) -> print_metrics r.kind r.result) results
   in
   Cmd.v (Cmd.info "compare" ~doc:"Compare all schemes on the same trace")
-    Term.(const run $ program_arg $ procs_arg $ line_arg $ tag_arg)
+    Term.(const run $ program_arg $ procs_arg $ line_arg $ tag_arg $ jobs_arg)
 
 let experiment_cmd =
-  let run id small =
+  let run id small jobs =
+    let jobs = resolve_jobs jobs in
     match id with
     | "all" ->
-      List.iter (Hscd_experiments.Experiments.run_and_print ~small) Hscd_experiments.Experiments.all
+      List.iter
+        (Hscd_experiments.Experiments.run_and_print ~small ~jobs)
+        Hscd_experiments.Experiments.all
     | _ -> (
       match Hscd_experiments.Experiments.find id with
-      | Some e -> Hscd_experiments.Experiments.run_and_print ~small e
+      | Some e -> Hscd_experiments.Experiments.run_and_print ~small ~jobs e
       | None ->
         Printf.eprintf "unknown experiment %s; try 'hscd list'\n" id;
         exit 1)
@@ -126,7 +146,7 @@ let experiment_cmd =
   let id_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID") in
   let small_arg = Arg.(value & flag & info [ "small" ] ~doc:"Use test-scale benchmark sizes") in
   Cmd.v (Cmd.info "experiment" ~doc:"Regenerate a paper table/figure (or 'all')")
-    Term.(const run $ id_arg $ small_arg)
+    Term.(const run $ id_arg $ small_arg $ jobs_arg)
 
 let trace_cmd =
   let run name out =
@@ -156,7 +176,8 @@ let replay_cmd =
 let fuzz_cmd =
   let module F = Hscd_check.Fuzz in
   let module Oracle = Hscd_check.Oracle in
-  let run seed count no_shrink save corpus write_corpus =
+  let run seed count no_shrink save corpus write_corpus jobs =
+    let jobs = resolve_jobs jobs in
     match (write_corpus, corpus) with
     | Some dir, _ ->
       (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
@@ -185,10 +206,10 @@ let fuzz_cmd =
             incr bad;
             Printf.printf "%-40s FAIL\n%s" path (Oracle.describe o)
           end)
-        (F.replay_corpus files);
+        (F.replay_corpus ~jobs files);
       if !bad > 0 then exit 1
     | None, None ->
-      let r = F.fuzz ~shrink:(not no_shrink) ~seed ~count () in
+      let r = F.fuzz ~shrink:(not no_shrink) ~jobs ~seed ~count () in
       Printf.printf "fuzz: %d iterations, %d events, %d failure(s)\n" r.F.iterations
         r.F.total_events
         (List.length r.F.failures);
@@ -235,7 +256,8 @@ let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:"Differential fuzzing: random traces through all four schemes with invariant monitors")
-    Term.(const run $ seed_arg $ count_arg $ no_shrink_arg $ save_arg $ corpus_arg $ write_corpus_arg)
+    Term.(const run $ seed_arg $ count_arg $ no_shrink_arg $ save_arg $ corpus_arg $ write_corpus_arg
+          $ jobs_arg)
 
 let list_cmd =
   let run () =

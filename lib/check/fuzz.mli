@@ -19,12 +19,15 @@ type report = {
     Iteration [i] is a deterministic function of [seed] alone. [fault]
     injects a bug into one scheme (oracle self-validation); [shrink]
     (default true) delta-debugs each failure; stops early after
-    [max_failures] (default 5) failures. *)
+    [max_failures] (default 5) failures. [jobs] fans each iteration's
+    cross-scheme oracle out over that many domains (bit-identical to
+    sequential). *)
 val fuzz :
   ?schemes:Hscd_sim.Run.scheme_kind list ->
   ?fault:Hscd_sim.Run.scheme_kind * Fault.t ->
   ?shrink:bool ->
   ?max_failures:int ->
+  ?jobs:int ->
   seed:int ->
   count:int ->
   unit ->
@@ -45,4 +48,4 @@ val write_corpus : dir:string -> string list
 
 (** Replay trace files under {!corpus_cfg}; one oracle verdict per file. *)
 val replay_corpus :
-  ?schemes:Hscd_sim.Run.scheme_kind list -> string list -> (string * Oracle.t) list
+  ?schemes:Hscd_sim.Run.scheme_kind list -> ?jobs:int -> string list -> (string * Oracle.t) list

@@ -43,12 +43,14 @@ let ok t = t.memories_agree && List.for_all report_ok t.reports
 let failing_schemes t =
   List.filter_map (fun r -> if report_ok r then None else Some r.kind) t.reports
 
-let run ?(schemes = Run.all_schemes) ?fault (cfg : Config.t) (trace : Trace.t) =
+let run ?(schemes = Run.all_schemes) ?fault ?jobs (cfg : Config.t) (trace : Trace.t) =
   let cfg = Config.validate cfg in
   let words = Trace.memory_words trace in
   let n_epochs = Trace.n_epochs trace in
   let runs =
-    List.map
+    (* one domain per scheme: every run builds its own network, traffic,
+       scheme state and monitor, so the fan-out is bit-deterministic *)
+    Hscd_util.Pool.map ?jobs
       (fun kind ->
         let network = Kruskal_snir.create cfg in
         let traffic = Traffic.create cfg in

@@ -19,10 +19,13 @@ val ok : t -> bool
 val failing_schemes : t -> Hscd_sim.Run.scheme_kind list
 
 (** Run the oracle. [fault] injects a bug into the named scheme (for
-    validating the oracle itself). Default schemes: the paper's four. *)
+    validating the oracle itself). Default schemes: the paper's four.
+    [jobs] (default 1) runs the schemes on that many domains; results are
+    bit-identical to the sequential run. *)
 val run :
   ?schemes:Hscd_sim.Run.scheme_kind list ->
   ?fault:Hscd_sim.Run.scheme_kind * Fault.t ->
+  ?jobs:int ->
   Hscd_arch.Config.t ->
   Hscd_sim.Trace.t ->
   t

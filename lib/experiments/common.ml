@@ -27,28 +27,57 @@ let cfg_key (c : Config.t) ~intertask ~small =
 let cache : (string, bench_result list) Hashtbl.t = Hashtbl.create 16
 
 (** Run all six Perfect Club models under [schemes] with [cfg]. [small]
-    selects the test-scale versions. *)
+    selects the test-scale versions. [jobs] (default 1) fans the
+    bench × scheme simulation grid out over that many domains; every
+    simulation owns its machine state, so results are bit-identical to the
+    sequential run (the memo cache key therefore ignores [jobs]). *)
 let run_all ?(cfg = Config.default) ?(schemes = Run.all_schemes) ?(intertask = true)
-    ?(small = false) () =
+    ?(small = false) ?jobs () =
   let key = cfg_key cfg ~intertask ~small ^ String.concat "" (List.map Run.scheme_name schemes) in
   match Hashtbl.find_opt cache key with
   | Some r -> r
   | None ->
-    let results =
+    (* compile sequentially (cheap), then simulate the whole grid in
+       parallel: 6 benches x |schemes| independent engine runs *)
+    let compiled =
       List.map
         (fun (e : Perfect.entry) ->
           let prog = if small then e.build_small () else e.build () in
-          let compiled, by =
-            Run.compare ~cfg ~schemes ~intertask prog
-          in
-          {
-            bench = e.name;
-            census = compiled.census;
-            trace_epochs = Trace.n_epochs compiled.trace;
-            trace_events = compiled.trace.total_events;
-            by_scheme = List.map (fun (c : Run.comparison) -> (c.kind, c.result)) by;
-          })
+          (e.name, Run.compile ~cfg ~intertask prog))
         Perfect.all
+    in
+    let grid =
+      List.concat_map (fun (_, c) -> List.map (fun k -> (c, k)) schemes) compiled
+    in
+    let sims =
+      Hscd_util.Pool.map ?jobs
+        (fun ((c : Run.compiled), kind) -> Run.simulate ~cfg kind c.trace)
+        grid
+    in
+    let rec chunk n = function
+      | [] -> []
+      | xs ->
+        let rec take n = function
+          | x :: rest when n > 0 ->
+            let h, t = take (n - 1) rest in
+            (x :: h, t)
+          | rest -> ([], rest)
+        in
+        let h, t = take n xs in
+        h :: chunk n t
+    in
+    let results =
+      List.map2
+        (fun (name, (c : Run.compiled)) by ->
+          {
+            bench = name;
+            census = c.census;
+            trace_epochs = Trace.n_epochs c.trace;
+            trace_events = c.trace.total_events;
+            by_scheme = List.combine schemes by;
+          })
+        compiled
+        (chunk (List.length schemes) sims)
     in
     Hashtbl.replace cache key results;
     results

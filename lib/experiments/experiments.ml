@@ -13,7 +13,8 @@ type t = {
   id : string;
   title : string;
   paper_ref : string;
-  run : ?small:bool -> unit -> Table.t list;
+  run : ?small:bool -> ?jobs:int -> unit -> Table.t list;
+      (** [jobs] = domains for the simulation fan-out; results identical for any value *)
 }
 
 let pct = Table.fpct
@@ -21,7 +22,7 @@ let f1 = Table.ff1
 
 (* --- E1: Figure 5, storage overhead --- *)
 
-let fig5 ?small:_ () =
+let fig5 ?small:_ ?jobs:_ () =
   let p = Overhead.paper_default in
   let t =
     Table.create ~title:"Fig 5: storage overhead of coherence support (P=1024, i=10)"
@@ -51,7 +52,7 @@ let fig5 ?small:_ () =
 
 (* --- E2: Figure 8, simulation parameters --- *)
 
-let fig8 ?small:_ () =
+let fig8 ?small:_ ?jobs:_ () =
   let t =
     Table.create ~title:"Fig 8: default machine parameters"
       ~header:[ "parameter"; "value" ] ~aligns:[ Table.Left; Table.Left ] ()
@@ -61,8 +62,8 @@ let fig8 ?small:_ () =
 
 (* --- E3: compiler marking census --- *)
 
-let census ?(small = false) () =
-  let results = Common.run_all ~small () in
+let census ?(small = false) ?jobs () =
+  let results = Common.run_all ?jobs ~small () in
   let t =
     Table.create ~title:"Compiler reference marking census (static sites)"
       ~header:[ "bench"; "epochs"; "events"; "normal"; "time-read"; "bypass"; "max d" ]
@@ -88,8 +89,8 @@ let census ?(small = false) () =
 
 (* --- E4: Figure 11, miss rates --- *)
 
-let fig11 ?(small = false) () =
-  let results = Common.run_all ~small () in
+let fig11 ?(small = false) ?jobs () =
+  let results = Common.run_all ?jobs ~small () in
   let t =
     Table.create ~title:"Fig 11: shared-data miss rates (64KB direct-mapped, 16B lines)"
       ~header:([ "bench" ] @ List.map Run.scheme_name Run.all_schemes)
@@ -109,8 +110,8 @@ let fig11 ?(small = false) () =
 
 (* --- E5: miss decomposition --- *)
 
-let fig12 ?(small = false) () =
-  let results = Common.run_all ~small () in
+let fig12 ?(small = false) ?jobs () =
+  let results = Common.run_all ?jobs ~small () in
   let classes =
     [ Scheme.Cold; Scheme.Replacement; Scheme.True_sharing; Scheme.False_sharing;
       Scheme.Conservative; Scheme.Reset_inv ]
@@ -136,9 +137,9 @@ let fig12 ?(small = false) () =
 
 (* --- E6: average miss latency table, 16B vs 64B lines --- *)
 
-let latency_table ?(small = false) () =
+let latency_table ?(small = false) ?jobs () =
   let run_with line_words =
-    Common.run_all ~cfg:{ Config.default with line_words } ~schemes:[ Run.TPI; Run.HW ] ~small ()
+    Common.run_all ?jobs ~cfg:{ Config.default with line_words } ~schemes:[ Run.TPI; Run.HW ] ~small ()
   in
   let r16 = run_with 4 and r64 = run_with 16 in
   let t =
@@ -157,10 +158,10 @@ let latency_table ?(small = false) () =
 
 (* --- E7: network traffic breakdown --- *)
 
-let traffic ?(small = false) () =
-  let results = Common.run_all ~schemes:[ Run.SC; Run.TPI; Run.HW ] ~small () in
+let traffic ?(small = false) ?jobs () =
+  let results = Common.run_all ?jobs ~schemes:[ Run.SC; Run.TPI; Run.HW ] ~small () in
   let wc_results =
-    Common.run_all
+    Common.run_all ?jobs
       ~cfg:{ Config.default with write_buffer = Config.Write_cache 16 }
       ~schemes:[ Run.TPI ] ~small ()
   in
@@ -189,7 +190,7 @@ let traffic ?(small = false) () =
 
 (* --- E8: timetag size sensitivity --- *)
 
-let timetag ?(small = false) () =
+let timetag ?(small = false) ?jobs () =
   let bits = [ 2; 3; 4; 6; 8 ] in
   let t =
     Table.create ~title:"Timetag size sensitivity (TPI): miss rate / resets"
@@ -200,7 +201,7 @@ let timetag ?(small = false) () =
   let per_bits =
     List.map
       (fun b ->
-        Common.run_all ~cfg:{ Config.default with timetag_bits = b } ~schemes:[ Run.TPI ] ~small ())
+        Common.run_all ?jobs ~cfg:{ Config.default with timetag_bits = b } ~schemes:[ Run.TPI ] ~small ())
       bits
   in
   List.iteri
@@ -220,8 +221,8 @@ let timetag ?(small = false) () =
 
 (* --- E9: normalized execution time --- *)
 
-let exec_time ?(small = false) () =
-  let results = Common.run_all ~small () in
+let exec_time ?(small = false) ?jobs () =
+  let results = Common.run_all ?jobs ~small () in
   let t =
     Table.create ~title:"Normalized execution time (HW = 1.0)"
       ~header:([ "bench" ] @ List.map Run.scheme_name Run.all_schemes @ [ "HW cycles" ])
@@ -242,10 +243,10 @@ let exec_time ?(small = false) () =
 
 (* --- A1: write-cache ablation --- *)
 
-let abl_write_cache ?(small = false) () =
-  let plain = Common.run_all ~schemes:[ Run.TPI ] ~small () in
+let abl_write_cache ?(small = false) ?jobs () =
+  let plain = Common.run_all ?jobs ~schemes:[ Run.TPI ] ~small () in
   let wc =
-    Common.run_all ~cfg:{ Config.default with write_buffer = Config.Write_cache 16 }
+    Common.run_all ?jobs ~cfg:{ Config.default with write_buffer = Config.Write_cache 16 }
       ~schemes:[ Run.TPI ] ~small ()
   in
   let t =
@@ -266,9 +267,9 @@ let abl_write_cache ?(small = false) () =
 
 (* --- A2: owner-alignment (intertask locality) ablation --- *)
 
-let abl_alignment ?(small = false) () =
-  let on = Common.run_all ~schemes:[ Run.TPI ] ~small () in
-  let off = Common.run_all ~schemes:[ Run.TPI ] ~intertask:false ~small () in
+let abl_alignment ?(small = false) ?jobs () =
+  let on = Common.run_all ?jobs ~schemes:[ Run.TPI ] ~small () in
+  let off = Common.run_all ?jobs ~schemes:[ Run.TPI ] ~intertask:false ~small () in
   let t =
     Table.create ~title:"Ablation: TPI miss rate with/without owner-alignment analysis [21]"
       ~header:[ "bench"; "alignment on"; "alignment off" ]
@@ -288,12 +289,12 @@ let abl_alignment ?(small = false) () =
 
 (* --- A3: scheduling policy ablation --- *)
 
-let abl_scheduling ?(small = false) () =
+let abl_scheduling ?(small = false) ?jobs () =
   let policies = [ Config.Block; Config.Cyclic; Config.Dynamic ] in
   let per =
     List.map
       (fun s ->
-        Common.run_all ~cfg:{ Config.default with scheduling = s } ~schemes:[ Run.TPI ] ~small ())
+        Common.run_all ?jobs ~cfg:{ Config.default with scheduling = s } ~schemes:[ Run.TPI ] ~small ())
       policies
   in
   let t =
@@ -319,12 +320,12 @@ let abl_scheduling ?(small = false) () =
 
 (* --- A4: cache size sweep --- *)
 
-let abl_cache_size ?(small = false) () =
+let abl_cache_size ?(small = false) ?jobs () =
   let sizes = [ 2; 4; 8; 16; 64 ] in
   let per =
     List.map
       (fun kb ->
-        Common.run_all ~cfg:{ Config.default with cache_bytes = kb * 1024 }
+        Common.run_all ?jobs ~cfg:{ Config.default with cache_bytes = kb * 1024 }
           ~schemes:[ Run.TPI; Run.HW ] ~small ())
       sizes
   in
@@ -350,7 +351,7 @@ let abl_cache_size ?(small = false) () =
 
 (* --- E0: workload characterization --- *)
 
-let characterization ?(small = false) () =
+let characterization ?(small = false) ?jobs:_ () =
   let t =
     Table.create ~title:"Benchmark characterization (evaluation-scale traces)"
       ~header:
@@ -383,12 +384,12 @@ let characterization ?(small = false) () =
 
 (* --- A5: associativity sweep --- *)
 
-let abl_assoc ?(small = false) () =
+let abl_assoc ?(small = false) ?jobs () =
   let ways = [ 1; 2; 4 ] in
   let per =
     List.map
       (fun assoc ->
-        Common.run_all ~cfg:{ Config.default with assoc } ~schemes:[ Run.TPI; Run.HW ] ~small ())
+        Common.run_all ?jobs ~cfg:{ Config.default with assoc } ~schemes:[ Run.TPI; Run.HW ] ~small ())
       ways
   in
   let t =
@@ -414,9 +415,9 @@ let abl_assoc ?(small = false) () =
 
 (* --- X1: the HSCD family tree (extension) --- *)
 
-let family ?(small = false) () =
+let family ?(small = false) ?jobs () =
   let schemes = Run.extended_schemes in
-  let results = Common.run_all ~schemes ~small () in
+  let results = Common.run_all ?jobs ~schemes ~small () in
   let t =
     Table.create
       ~title:"Extension: the compiler-directed family — INV [35], VC [14] vs SC/TPI (miss rate)"
@@ -436,10 +437,10 @@ let family ?(small = false) () =
 
 (* --- X2: consistency model (the paper's footnote 11) --- *)
 
-let consistency ?(small = false) () =
-  let weak = Common.run_all ~schemes:[ Run.TPI; Run.HW ] ~small () in
+let consistency ?(small = false) ?jobs () =
+  let weak = Common.run_all ?jobs ~schemes:[ Run.TPI; Run.HW ] ~small () in
   let seq =
-    Common.run_all ~cfg:{ Config.default with consistency = Config.Sequential }
+    Common.run_all ?jobs ~cfg:{ Config.default with consistency = Config.Sequential }
       ~schemes:[ Run.TPI; Run.HW ] ~small ()
   in
   let t =
@@ -465,12 +466,12 @@ let consistency ?(small = false) () =
 
 (* --- X3: task migration (Section 5) --- *)
 
-let migration ?(small = false) () =
+let migration ?(small = false) ?jobs () =
   let rates = [ 0.0; 0.2; 0.5 ] in
   let per =
     List.map
       (fun migration_rate ->
-        Common.run_all
+        Common.run_all ?jobs
           ~cfg:{ Config.default with scheduling = Config.Dynamic; migration_rate }
           ~schemes:[ Run.TPI ] ~small ())
       rates
@@ -525,6 +526,6 @@ let all : t list =
 
 let find id = List.find_opt (fun e -> e.id = id) all
 
-let run_and_print ?small (e : t) =
+let run_and_print ?small ?jobs (e : t) =
   Printf.printf "### [%s] %s (%s)\n\n" e.id e.title e.paper_ref;
-  List.iter Table.print (e.run ?small ())
+  List.iter Table.print (e.run ?small ?jobs ())

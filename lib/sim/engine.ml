@@ -8,13 +8,25 @@
     every epoch ends with a barrier, the scheme's boundary work (two-phase
     resets, buffer drains) and a network-load update for the analytic
     delay model. Every load's value is checked against the golden
-    interpreter — a failing scheme cannot hide. *)
+    interpreter — a failing scheme cannot hide.
+
+    The next processor to run is picked from an indexed ready queue (a
+    min-clock binary heap with ties broken on the processor index, the
+    same order a linear lowest-clock scan would produce) rather than an
+    O(P) scan per event. Processors leave the heap while blocked on a
+    critical-section ticket — parked in a per-ticket slot and re-enqueued
+    by the matching unlock — or while out of work, and idle processors are
+    woken in index order when self-scheduled work reappears (a migrated
+    task tail). Work queues are ring-buffer deques, so task distribution
+    is O(1) per task instead of a quadratic list append. *)
 
 module Config = Hscd_arch.Config
 module Event = Hscd_arch.Event
 module Scheme = Hscd_coherence.Scheme
 module Kruskal_snir = Hscd_network.Kruskal_snir
 module Traffic = Hscd_network.Traffic
+module Deque = Hscd_util.Deque
+module Minheap = Hscd_util.Minheap
 
 type violation = { epoch : int; proc : int; addr : int; expected : int; got : int }
 
@@ -36,8 +48,9 @@ type work_item = {
 }
 
 type proc_state = {
+  pidx : int;  (** this processor's index — no identity scans *)
   mutable clock : int;
-  mutable pending : work_item list;  (** static assignment *)
+  pending : work_item Deque.t;  (** static assignment *)
   mutable events : Event.t array;  (** current task's events *)
   mutable idx : int;
   mutable stop : int;  (** exclusive bound; < length when migrating away *)
@@ -49,16 +62,19 @@ let assign_tickets (epoch : Trace.epoch) =
   (* tickets in (rank, event) order so the engine can grant critical
      sections in the golden interpreter's order *)
   let counter = ref 0 in
-  Array.map
-    (fun (task : Trace.task) ->
-      Array.to_list task.events
-      |> List.filter_map (function
-           | Event.Lock ->
-             let t = !counter in
-             incr counter;
-             Some t
-           | _ -> None))
-    epoch.tasks
+  let per_task =
+    Array.map
+      (fun (task : Trace.task) ->
+        Array.to_list task.events
+        |> List.filter_map (function
+             | Event.Lock ->
+               let t = !counter in
+               incr counter;
+               Some t
+             | _ -> None))
+      epoch.tasks
+  in
+  (per_task, !counter)
 
 let run (cfg : Config.t) (Scheme.Packed ((module S), sch)) ~(net : Kruskal_snir.t)
     ~(traffic : Traffic.t) (trace : Trace.t) =
@@ -69,28 +85,26 @@ let run (cfg : Config.t) (Scheme.Packed ((module S), sch)) ~(net : Kruskal_snir.
   Array.iteri
     (fun epoch_no (epoch : Trace.epoch) ->
       let ntasks = Array.length epoch.tasks in
-      let tickets = assign_tickets epoch in
+      let tickets, n_tickets = assign_tickets epoch in
       let procs =
-        Array.init cfg.processors (fun _ ->
-            { clock = !global; pending = []; events = [||]; idx = 0; stop = 0; cur = None;
-              tickets = [] })
+        Array.init cfg.processors (fun pidx ->
+            { pidx; clock = !global; pending = Deque.create (); events = [||]; idx = 0;
+              stop = 0; cur = None; tickets = [] })
       in
       let item rank task = { rank; w_task = task; start = 0; w_tickets = tickets.(rank) } in
       (* task distribution *)
-      let dynamic_queue = ref [] in
+      let dynamic_queue = Deque.create ~capacity:(max 1 ntasks) () in
       (match epoch.kind with
       | Trace.Serial ->
-        Array.iteri
-          (fun rank task -> procs.(0).pending <- procs.(0).pending @ [ item rank task ])
-          epoch.tasks
+        Array.iteri (fun rank task -> Deque.push_back procs.(0).pending (item rank task)) epoch.tasks
       | Trace.Parallel _ ->
         if Schedule.is_static cfg then
           Array.iteri
             (fun rank task ->
               let p = Schedule.static_proc cfg ~ntasks rank in
-              procs.(p).pending <- procs.(p).pending @ [ item rank task ])
+              Deque.push_back procs.(p).pending (item rank task))
             epoch.tasks
-        else dynamic_queue := Array.to_list (Array.mapi (fun r t -> item r t) epoch.tasks));
+        else Array.iteri (fun rank task -> Deque.push_back dynamic_queue (item rank task)) epoch.tasks);
       (* critical-section tickets *)
       let expected_ticket = ref 0 in
       let lock_release = ref 0 in
@@ -122,23 +136,21 @@ let run (cfg : Config.t) (Scheme.Packed ((module S), sch)) ~(net : Kruskal_snir.
           (match p.cur with
           | Some w when p.stop < Array.length p.events ->
             metrics.migrations <- metrics.migrations + 1;
-            dynamic_queue := !dynamic_queue @ [ { w with start = p.stop } ]
+            Deque.push_back dynamic_queue { w with start = p.stop }
           | _ -> ());
           p.cur <- None;
-          match p.pending with
-          | t :: rest ->
-            p.pending <- rest;
+          match Deque.pop_front p.pending with
+          | Some t ->
             start_task p ~dynamic:false t;
             try_refill p
-          | [] -> (
-            match !dynamic_queue with
-            | t :: rest ->
-              dynamic_queue := rest;
+          | None -> (
+            match Deque.pop_front dynamic_queue with
+            | Some t ->
               (* self-scheduling: fetching the shared iteration counter *)
               p.clock <- p.clock + cfg.lock_cycles;
               start_task p ~dynamic:true t;
               try_refill p
-            | [] -> false)
+            | None -> false)
         end
       in
       let blocked p =
@@ -149,23 +161,39 @@ let run (cfg : Config.t) (Scheme.Packed ((module S), sch)) ~(net : Kruskal_snir.
         | Event.Lock -> ( match p.tickets with t :: _ -> t <> !expected_ticket | [] -> false)
         | _ -> false
       in
-      let runnable p = try_refill p && not (blocked p) in
+      (* ready structure: min-clock heap of runnable processors; blocked
+         processors park in the slot of the ticket they wait for, workless
+         processors in the idle set *)
+      let ready = Minheap.create cfg.processors in
+      let ticket_waiter = Array.make (max 1 n_tickets) (-1) in
+      let idle = Array.make cfg.processors false in
+      let enqueue p =
+        if blocked p then ticket_waiter.(List.hd p.tickets) <- p.pidx
+        else Minheap.push ready ~key:p.clock p.pidx
+      in
+      (* refill p and put it wherever it now belongs: the heap, a ticket
+         slot, or the idle set *)
+      let activate p =
+        if try_refill p then begin
+          idle.(p.pidx) <- false;
+          enqueue p
+        end
+        else idle.(p.pidx) <- true
+      in
+      (* a migrated tail landed on an empty queue: idle processors claim
+         it in index order, like the linear scan used to *)
+      let wake_idle () =
+        if not (Deque.is_empty dynamic_queue) then
+          Array.iter (fun p -> if idle.(p.pidx) && not (Deque.is_empty dynamic_queue) then activate p) procs
+      in
+      Array.iter activate procs;
+      wake_idle ();
       let rec loop () =
-        (* pick the runnable processor with the smallest clock *)
-        let best = ref None in
-        Array.iter
-          (fun p ->
-            if runnable p then
-              match !best with
-              | Some b when b.clock <= p.clock -> ()
-              | _ -> best := Some p)
-          procs;
-        match !best with
+        match Minheap.pop ready with
         | None -> ()
-        | Some p ->
-          let proc = ref 0 in
-          Array.iteri (fun i q -> if q == p then proc := i) procs;
-          let proc = !proc in
+        | Some (_, pi) ->
+          let p = procs.(pi) in
+          let proc = p.pidx in
           (match p.events.(p.idx) with
           | Event.Compute n ->
             p.clock <- p.clock + n;
@@ -187,14 +215,27 @@ let run (cfg : Config.t) (Scheme.Packed ((module S), sch)) ~(net : Kruskal_snir.
               assert (t = !expected_ticket);
               p.tickets <- rest
             | [] -> ());
-            let ready = max p.clock !lock_release in
-            metrics.lock_wait_cycles <- metrics.lock_wait_cycles + (ready - p.clock);
+            let ready_at = max p.clock !lock_release in
+            metrics.lock_wait_cycles <- metrics.lock_wait_cycles + (ready_at - p.clock);
             metrics.lock_acquires <- metrics.lock_acquires + 1;
-            p.clock <- ready + cfg.lock_cycles
+            p.clock <- ready_at + cfg.lock_cycles
           | Event.Unlock ->
             lock_release := p.clock;
-            incr expected_ticket);
+            incr expected_ticket;
+            (* unblock the processor waiting on the now-due ticket *)
+            if !expected_ticket < n_tickets then begin
+              let w = ticket_waiter.(!expected_ticket) in
+              if w >= 0 then begin
+                ticket_waiter.(!expected_ticket) <- -1;
+                Minheap.push ready ~key:procs.(w).clock w
+              end
+            end);
           p.idx <- p.idx + 1;
+          if p.idx < p.stop then enqueue p
+          else begin
+            activate p;
+            wake_idle ()
+          end;
           loop ()
       in
       loop ();

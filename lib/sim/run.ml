@@ -79,10 +79,16 @@ let simulate ?(cfg = Config.default) kind (trace : Trace.t) =
 type comparison = { kind : scheme_kind; result : Engine.result }
 
 (** Everything at once: compile once, then run each scheme on the same
-    trace (the paper's methodology: identical reference streams). *)
-let compare ?(cfg = Config.default) ?(schemes = all_schemes) ?(intertask = true) program =
+    trace (the paper's methodology: identical reference streams). With
+    [jobs > 1] the schemes run on separate domains — each simulation owns
+    its network, traffic and scheme state and the engine's PRNG is
+    per-run, so the results are bit-identical to the sequential run. *)
+let compare ?(cfg = Config.default) ?(schemes = all_schemes) ?(intertask = true) ?jobs program =
   let c = compile ~cfg ~intertask program in
-  (c, List.map (fun kind -> { kind; result = simulate ~cfg kind c.trace }) schemes)
+  ( c,
+    Hscd_util.Pool.map ?jobs
+      (fun kind -> { kind; result = simulate ~cfg kind c.trace })
+      schemes )
 
 (** Convenience wrapper running one scheme from source. *)
 let run_source ?(cfg = Config.default) ?(intertask = true) kind program =

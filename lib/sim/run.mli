@@ -41,11 +41,14 @@ val simulate : ?cfg:Hscd_arch.Config.t -> scheme_kind -> Trace.t -> Engine.resul
 type comparison = { kind : scheme_kind; result : Engine.result }
 
 (** Compile once, then run each scheme on the same trace (the paper's
-    methodology: identical reference streams). *)
+    methodology: identical reference streams). [jobs] (default 1) is the
+    number of domains simulating schemes concurrently; any value produces
+    bit-identical results. *)
 val compare :
   ?cfg:Hscd_arch.Config.t ->
   ?schemes:scheme_kind list ->
   ?intertask:bool ->
+  ?jobs:int ->
   Hscd_lang.Ast.program ->
   compiled * comparison list
 

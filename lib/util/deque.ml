@@ -1,0 +1,72 @@
+(* Ring buffer over an option array: [head] indexes the front element,
+   [size] elements live at head, head+1, ... (mod capacity). *)
+
+type 'a t = {
+  mutable buf : 'a option array;
+  mutable head : int;
+  mutable size : int;
+}
+
+let create ?(capacity = 8) () = { buf = Array.make (max 1 capacity) None; head = 0; size = 0 }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let grow t =
+  let cap = Array.length t.buf in
+  let buf = Array.make (2 * cap) None in
+  for i = 0 to t.size - 1 do
+    buf.(i) <- t.buf.((t.head + i) mod cap)
+  done;
+  t.buf <- buf;
+  t.head <- 0
+
+let push_back t x =
+  if t.size = Array.length t.buf then grow t;
+  t.buf.((t.head + t.size) mod Array.length t.buf) <- Some x;
+  t.size <- t.size + 1
+
+let push_front t x =
+  if t.size = Array.length t.buf then grow t;
+  let cap = Array.length t.buf in
+  t.head <- (t.head + cap - 1) mod cap;
+  t.buf.(t.head) <- Some x;
+  t.size <- t.size + 1
+
+let pop_front t =
+  if t.size = 0 then None
+  else begin
+    let x = t.buf.(t.head) in
+    t.buf.(t.head) <- None;
+    t.head <- (t.head + 1) mod Array.length t.buf;
+    t.size <- t.size - 1;
+    x
+  end
+
+let pop_back t =
+  if t.size = 0 then None
+  else begin
+    let i = (t.head + t.size - 1) mod Array.length t.buf in
+    let x = t.buf.(i) in
+    t.buf.(i) <- None;
+    t.size <- t.size - 1;
+    x
+  end
+
+let peek_front t = if t.size = 0 then None else t.buf.(t.head)
+
+let clear t =
+  Array.fill t.buf 0 (Array.length t.buf) None;
+  t.head <- 0;
+  t.size <- 0
+
+let to_list t =
+  List.init t.size (fun i ->
+      match t.buf.((t.head + i) mod Array.length t.buf) with
+      | Some x -> x
+      | None -> assert false)
+
+let of_list xs =
+  let t = create ~capacity:(max 1 (List.length xs)) () in
+  List.iter (push_back t) xs;
+  t

@@ -1,0 +1,32 @@
+(** Growable ring-buffer FIFO with amortized O(1) push/pop at both ends.
+
+    The engine's work queues (per-processor pending lists and the shared
+    self-scheduling queue) were list appends — O(n) per push, quadratic per
+    epoch. This deque replaces them. Not thread-safe: each simulation run
+    owns its queues. *)
+
+type 'a t
+
+(** Fresh empty deque; [capacity] is a size hint. *)
+val create : ?capacity:int -> unit -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push_back : 'a t -> 'a -> unit
+val push_front : 'a t -> 'a -> unit
+
+(** [None] when empty. *)
+val pop_front : 'a t -> 'a option
+
+val pop_back : 'a t -> 'a option
+
+(** Front element without removing it. *)
+val peek_front : 'a t -> 'a option
+
+val clear : 'a t -> unit
+
+(** Front-to-back order. *)
+val to_list : 'a t -> 'a list
+
+val of_list : 'a list -> 'a t

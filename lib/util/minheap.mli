@@ -1,0 +1,23 @@
+(** Binary min-heap over [(key, value)] integer pairs, ordered by key and
+    breaking ties on the smaller value.
+
+    The engine's ready queue: key is a processor clock, value a processor
+    index, so [pop] yields the lowest-clock processor and resolves clock
+    ties to the lowest index — identical ordering to a linear scan over
+    processors, at O(log n) per operation. *)
+
+type t
+
+val create : int -> t
+
+val length : t -> int
+val is_empty : t -> bool
+
+val push : t -> key:int -> int -> unit
+
+(** Smallest [(key, value)]; [None] when empty. *)
+val pop : t -> (int * int) option
+
+val peek : t -> (int * int) option
+
+val clear : t -> unit

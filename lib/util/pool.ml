@@ -1,0 +1,40 @@
+let default_jobs () =
+  match Sys.getenv_opt "HSCD_JOBS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n > 0 -> n
+    | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+type 'b slot = Empty | Ok_slot of 'b | Exn_slot of exn * Printexc.raw_backtrace
+
+let map ?(jobs = 1) f xs =
+  let n = List.length xs in
+  if jobs <= 1 || n <= 1 then List.map f xs
+  else begin
+    let input = Array.of_list xs in
+    let out = Array.make n Empty in
+    let next = Atomic.make 0 in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then continue := false
+        else
+          out.(i) <-
+            (match f input.(i) with
+            | v -> Ok_slot v
+            | exception e -> Exn_slot (e, Printexc.get_raw_backtrace ()))
+      done
+    in
+    let spawned = Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join spawned;
+    Array.to_list out
+    |> List.map (function
+         | Ok_slot v -> v
+         | Exn_slot (e, bt) -> Printexc.raise_with_backtrace e bt
+         | Empty -> assert false)
+  end
+
+let iter ?jobs f xs = ignore (map ?jobs f xs)

@@ -1,0 +1,24 @@
+(** A small domain pool (OCaml 5 [Domain] + [Atomic], no external deps)
+    for embarrassingly parallel fan-out: independent simulations of the
+    same trace under different coherence schemes, experiment sweeps and
+    the fuzz oracle's cross-scheme check.
+
+    Workers claim list elements through a shared counter, write results
+    into a pre-sized slot array, and join before [map] returns, so the
+    output order always equals the input order and the result is
+    bit-identical to the sequential [List.map] — parallelism never changes
+    what is computed, only when. Exceptions raised by [f] are re-raised in
+    the caller (the first failing index wins). *)
+
+(** Worker count from the environment: [HSCD_JOBS] if set to a positive
+    integer, else [Domain.recommended_domain_count ()]. *)
+val default_jobs : unit -> int
+
+(** [map ~jobs f xs] is [List.map f xs], computed by up to [jobs] domains
+    (the caller counts as one). [jobs <= 1] (the default) runs
+    sequentially with no domain spawned. [f] must not touch shared mutable
+    state. *)
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [iter ~jobs f xs] is [ignore (map ~jobs f xs)]. *)
+val iter : ?jobs:int -> ('a -> unit) -> 'a list -> unit

@@ -145,6 +145,85 @@ let test_timetag_width_monotone () =
   let m2 = miss 2 and m8 = miss 8 in
   Alcotest.(check bool) "2-bit tags miss at least as much" true (m2 >= m8)
 
+(* --- ready-queue behavior: hand-built traces straight into the engine --- *)
+
+module Event = Hscd_arch.Event
+
+(* a trace with the given parallel-epoch tasks over one 8-word array;
+   [golden] lists (addr, value) pairs expected in final memory *)
+let hand_trace ?(golden = []) tasks =
+  let layout = Hscd_lang.Shape.layout ~line_words:4 [ B.array "a" [ 8 ] ] in
+  let golden_memory = Array.make layout.Hscd_lang.Shape.total_words 0 in
+  List.iter (fun (addr, v) -> golden_memory.(addr) <- v) golden;
+  let tasks = Array.of_list (List.mapi (fun iter events -> { Trace.iter; events }) tasks) in
+  let total_events = Array.fold_left (fun a (t : Trace.task) -> a + Array.length t.events) 0 tasks in
+  {
+    Trace.epochs = [| { Trace.kind = Trace.Parallel { lo = 0; hi = Array.length tasks - 1 }; tasks } |];
+    layout;
+    golden_memory;
+    total_events;
+  }
+
+let test_ticket_block_unblock () =
+  (* task 0 (proc 0) holds ticket 0 but only reaches its lock at t=100;
+     task 1 (proc 1) reaches its lock (ticket 1) at t=0 and must park off
+     the ready queue until proc 0's unlock re-enqueues it *)
+  let trace =
+    hand_trace
+      [
+        [| Event.Compute 100; Event.Lock; Event.Unlock |];
+        [| Event.Lock; Event.Unlock; Event.Compute 5 |];
+      ]
+  in
+  let r = Run.simulate ~cfg:cfg4 Run.TPI trace in
+  Alcotest.(check int) "both locks granted" 2 r.metrics.lock_acquires;
+  Alcotest.(check bool) "proc 1 waited" true (r.metrics.lock_wait_cycles >= 100);
+  Alcotest.(check int) "no violations" 0 r.metrics.violations;
+  Alcotest.(check bool) "memory ok" true r.memory_ok;
+  (* serialization: compute(100) + two lock acquisitions + barrier *)
+  Alcotest.(check bool) "cycles cover the serialized locks" true
+    (r.cycles >= 100 + (2 * cfg4.lock_cycles) + cfg4.barrier_cycles)
+
+let test_empty_task_skip () =
+  (* empty tasks interleaved with real ones: the refill path must skip
+     them without scheduling phantom events *)
+  let trace =
+    hand_trace
+      ~golden:[ (0, 7); (4, 9) ]
+      [
+        [||];
+        [| Event.Write { addr = 0; mark = Event.Normal_write; value = 7; array = "a" } |];
+        [||];
+        [| Event.Write { addr = 4; mark = Event.Normal_write; value = 9; array = "a" } |];
+      ]
+  in
+  List.iter
+    (fun kind ->
+      let r = Run.simulate ~cfg:cfg4 kind trace in
+      Alcotest.(check bool) (Run.scheme_name kind ^ " memory") true r.memory_ok;
+      Alcotest.(check int) (Run.scheme_name kind ^ " violations") 0 r.metrics.violations;
+      Alcotest.(check int) (Run.scheme_name kind ^ " writes") 2 (Metrics.writes r.metrics))
+    Run.all_schemes
+
+let test_empty_tasks_dynamic () =
+  let trace = hand_trace ~golden:[ (0, 3) ]
+      [ [||]; [||]; [||];
+        [| Event.Write { addr = 0; mark = Event.Normal_write; value = 3; array = "a" } |] ]
+  in
+  let cfg = { cfg4 with scheduling = Config.Dynamic } in
+  let r = Run.simulate ~cfg Run.HW trace in
+  Alcotest.(check bool) "memory ok" true r.memory_ok;
+  Alcotest.(check int) "one write" 1 (Metrics.writes r.metrics)
+
+let test_migration_reenqueue () =
+  (* migration_rate = 1: every eligible dynamic task truncates and its
+     tail goes back to the shared queue for re-enqueue on another node *)
+  let cfg = { cfg4 with scheduling = Config.Dynamic; migration_rate = 1.0 } in
+  let _, r = Run.run_source ~cfg Run.TPI (Hscd_workloads.Kernels.jacobi1d ~n:64 ~iters:2 ()) in
+  Alcotest.(check bool) "tasks migrated" true (r.metrics.migrations > 0);
+  Alcotest.(check int) "still coherent" 0 r.metrics.violations;
+  Alcotest.(check bool) "memory ok" true r.memory_ok
+
 let suite =
   [
     Alcotest.test_case "all schemes coherent" `Quick test_all_schemes_coherent;
@@ -158,4 +237,8 @@ let suite =
     Alcotest.test_case "barrier accounting" `Quick test_barrier_accounting;
     Alcotest.test_case "parallel speedup" `Quick test_more_processors_not_slower;
     Alcotest.test_case "timetag width monotone" `Quick test_timetag_width_monotone;
+    Alcotest.test_case "ready queue: ticket block/unblock" `Quick test_ticket_block_unblock;
+    Alcotest.test_case "ready queue: empty tasks skipped" `Quick test_empty_task_skip;
+    Alcotest.test_case "ready queue: empty tasks (dynamic)" `Quick test_empty_tasks_dynamic;
+    Alcotest.test_case "ready queue: migration re-enqueue" `Quick test_migration_reenqueue;
   ]

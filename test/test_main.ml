@@ -11,6 +11,7 @@ let () =
       ("cache-net", Test_cache_net.suite);
       ("coherence", Test_coherence.suite);
       ("engine", Test_engine.suite);
+      ("parallel", Test_parallel.suite);
       ("random", Test_random.suite);
       ("extensions", Test_extensions.suite);
       ("stats-report", Test_stats_report.suite);

@@ -153,6 +153,71 @@ let test_table_fbytes () =
   check Alcotest.string "mb" "4.0MB" (Table.fbytes (4 * 1024 * 1024));
   check Alcotest.string "gb" "3.0GB" (Table.fbytes (3 * 1024 * 1024 * 1024))
 
+(* --- deque --- *)
+
+let test_deque_fifo () =
+  let d = Hscd_util.Deque.create ~capacity:2 () in
+  for i = 1 to 100 do
+    Hscd_util.Deque.push_back d i
+  done;
+  check Alcotest.int "length" 100 (Hscd_util.Deque.length d);
+  for i = 1 to 100 do
+    check Alcotest.(option int) "fifo order" (Some i) (Hscd_util.Deque.pop_front d)
+  done;
+  check Alcotest.(option int) "empty" None (Hscd_util.Deque.pop_front d);
+  Alcotest.(check bool) "is_empty" true (Hscd_util.Deque.is_empty d)
+
+let test_deque_both_ends () =
+  let d = Hscd_util.Deque.create () in
+  Hscd_util.Deque.push_back d 2;
+  Hscd_util.Deque.push_front d 1;
+  Hscd_util.Deque.push_back d 3;
+  check Alcotest.(list int) "order" [ 1; 2; 3 ] (Hscd_util.Deque.to_list d);
+  check Alcotest.(option int) "peek" (Some 1) (Hscd_util.Deque.peek_front d);
+  check Alcotest.(option int) "pop_back" (Some 3) (Hscd_util.Deque.pop_back d);
+  check Alcotest.(option int) "pop_front" (Some 1) (Hscd_util.Deque.pop_front d);
+  check Alcotest.int "one left" 1 (Hscd_util.Deque.length d)
+
+let test_deque_wraparound () =
+  (* interleaved push/pop forces head to wrap around the ring *)
+  let d = Hscd_util.Deque.create ~capacity:4 () in
+  let q = Queue.create () in
+  let prng = Prng.of_int 99 in
+  for i = 0 to 999 do
+    if Prng.bool prng then begin
+      Hscd_util.Deque.push_back d i;
+      Queue.push i q
+    end
+    else
+      check
+        Alcotest.(option int)
+        "matches Queue" (Queue.take_opt q) (Hscd_util.Deque.pop_front d)
+  done;
+  check Alcotest.(list int) "drain" (List.of_seq (Queue.to_seq q)) (Hscd_util.Deque.to_list d)
+
+(* --- minheap --- *)
+
+let test_minheap_sorted () =
+  let h = Hscd_util.Minheap.create 4 in
+  let prng = Prng.of_int 5 in
+  let keys = List.init 200 (fun i -> (Prng.int prng 50, i)) in
+  List.iter (fun (k, v) -> Hscd_util.Minheap.push h ~key:k v) keys;
+  let rec drain acc = match Hscd_util.Minheap.pop h with None -> List.rev acc | Some kv -> drain (kv :: acc) in
+  let out = drain [] in
+  check Alcotest.int "all popped" 200 (List.length out);
+  (* sorted by key, ties by value — the engine's lowest-clock,
+     lowest-index processor order *)
+  check
+    Alcotest.(list (pair int int))
+    "heap order = sorted order" (List.sort compare keys) out
+
+let test_minheap_ties_by_value () =
+  let h = Hscd_util.Minheap.create 4 in
+  List.iter (fun v -> Hscd_util.Minheap.push h ~key:7 v) [ 3; 0; 2; 1 ];
+  let vs = List.init 4 (fun _ -> match Hscd_util.Minheap.pop h with Some (_, v) -> v | None -> -1) in
+  check Alcotest.(list int) "lowest index first" [ 0; 1; 2; 3 ] vs;
+  Alcotest.(check bool) "empty" true (Hscd_util.Minheap.is_empty h)
+
 let suite =
   [
     Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
@@ -171,4 +236,9 @@ let suite =
     Alcotest.test_case "table render" `Quick test_table_render;
     Alcotest.test_case "table mismatch" `Quick test_table_row_mismatch;
     Alcotest.test_case "table fbytes" `Quick test_table_fbytes;
+    Alcotest.test_case "deque fifo" `Quick test_deque_fifo;
+    Alcotest.test_case "deque both ends" `Quick test_deque_both_ends;
+    Alcotest.test_case "deque wraparound" `Quick test_deque_wraparound;
+    Alcotest.test_case "minheap sorted" `Quick test_minheap_sorted;
+    Alcotest.test_case "minheap ties" `Quick test_minheap_ties_by_value;
   ]

@@ -77,7 +77,7 @@ let micro_tests =
        let tpi = Hscd_coherence.Tpi.create cfg ~memory_words:4096 ~network:net ~traffic in
        for a = 0 to 4095 do
          ignore
-           (Hscd_coherence.Tpi.write tpi ~proc:(a mod 16) ~addr:a ~array:"m" ~value:a
+           (Hscd_coherence.Tpi.write tpi ~proc:(a mod 16) ~addr:a ~array:0 ~value:a
               ~mark:Hscd_arch.Event.Normal_write)
        done;
        Staged.stage (fun () -> ignore (Hscd_coherence.Tpi.epoch_boundary tpi)));

@@ -1,46 +1,149 @@
 (** Wall-clock performance probes shared by the full bench harness and the
-    standalone [throughput] runner: engine event throughput at P=64 and
-    the multicore all-schemes comparison at jobs=1 vs jobs=N. *)
+    standalone [throughput] runner: packed-vs-boxed engine event
+    throughput at P=64 (with allocation-per-event accounting) and the
+    multicore all-schemes comparison at jobs=1 vs jobs=N. *)
+
+module Config = Hscd_arch.Config
+module Run = Hscd_sim.Run
+module Trace = Hscd_sim.Trace
+module Engine = Hscd_sim.Engine
+module Kruskal_snir = Hscd_network.Kruskal_snir
+module Traffic = Hscd_network.Traffic
+
+(* One replay with a fresh machine, timed and GC-accounted separately
+   from scheme construction: the (seconds, minor-heap words) cost of the
+   Engine call alone, plus its result for equivalence checks. *)
+let replay_packed ~cfg kind (p : Trace.packed) =
+  let network = Kruskal_snir.create cfg in
+  let traffic = Traffic.create cfg in
+  let sch = Run.pack kind cfg ~memory_words:(Trace.packed_memory_words p) ~network ~traffic in
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  let r = Engine.run cfg sch ~net:network ~traffic p in
+  let dt = Unix.gettimeofday () -. t0 in
+  (r, dt, Gc.minor_words () -. w0)
+
+let replay_boxed ~cfg kind (t : Trace.t) =
+  let network = Kruskal_snir.create cfg in
+  let traffic = Traffic.create cfg in
+  let sch = Run.pack kind cfg ~memory_words:(Trace.memory_words t) ~network ~traffic in
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  let r = Engine.run_boxed cfg sch ~net:network ~traffic t in
+  let dt = Unix.gettimeofday () -. t0 in
+  (r, dt, Gc.minor_words () -. w0)
+
+type scheme_row = {
+  scheme : string;
+  packed_eps : float;  (** events/sec, packed-native replay *)
+  boxed_eps : float;  (** events/sec, legacy boxed replay *)
+  speedup : float;  (** packed over boxed *)
+  minor_words_per_event : float;  (** minor-heap words/event, packed replay *)
+  identical : bool;  (** packed result = boxed result, bit for bit *)
+}
+
+type report = {
+  processors : int;
+  events : int;  (** slots replayed per run (incl. compute) *)
+  slab_words : int;  (** live heap words of the packed slabs *)
+  rows : scheme_row list;
+}
 
 (* engine/events_per_sec: a large jacobi trace replayed on a 64-processor
-   machine — the scaling regime the ready-heap targets (the old engine
-   paid two O(P) scans per event). The Base scheme is the engine-path
-   number (near-zero coherence-model cost, so scheduling overhead
-   dominates); TPI is shown alongside for the end-to-end figure. *)
-let engine_throughput () =
-  let cfg = { Hscd_arch.Config.default with processors = 64 } in
-  let prog = Hscd_workloads.Kernels.jacobi1d ~n:4096 ~iters:4 () in
-  let c = Hscd_sim.Run.compile ~cfg prog in
-  let events = c.Hscd_sim.Run.trace.total_events in
-  let measure kind =
-    (* warm up, then time a fixed number of replays *)
-    ignore (Hscd_sim.Run.simulate ~cfg kind c.trace);
-    let reps = 3 in
-    let t0 = Unix.gettimeofday () in
+   machine — the scaling regime the packed hot path targets. The Base
+   scheme is the engine-path number (near-zero coherence-model cost, so
+   event decode + scheduling overhead dominates); TPI is alongside for
+   the end-to-end figure. Every scheme is also replayed through the
+   legacy boxed loop and the results compared bit for bit. *)
+let measure ?(processors = 64) ?(n = 4096) ?(iters = 4) ?(reps = 3)
+    ?(schemes = [ Run.Base; Run.TPI ]) () =
+  let cfg = Config.validate { Config.default with processors } in
+  let prog = Hscd_workloads.Kernels.jacobi1d ~n ~iters () in
+  let c = Run.compile ~cfg prog in
+  let p = c.Run.packed_trace in
+  let events = p.Trace.n_slots in
+  let row kind =
+    (* warm up, then average a fixed number of fresh replays *)
+    ignore (replay_packed ~cfg kind p);
+    let packed_dt = ref 0.0 and packed_words = ref 0.0 in
+    let r_packed = ref None in
     for _ = 1 to reps do
-      ignore (Hscd_sim.Run.simulate ~cfg kind c.trace)
+      let r, dt, w = replay_packed ~cfg kind p in
+      r_packed := Some r;
+      packed_dt := !packed_dt +. dt;
+      packed_words := !packed_words +. w
     done;
-    let dt = (Unix.gettimeofday () -. t0) /. float_of_int reps in
-    (float_of_int events /. dt, dt)
+    ignore (replay_boxed ~cfg kind c.Run.trace);
+    let boxed_dt = ref 0.0 in
+    let r_boxed = ref None in
+    for _ = 1 to reps do
+      let r, dt, _ = replay_boxed ~cfg kind c.Run.trace in
+      r_boxed := Some r;
+      boxed_dt := !boxed_dt +. dt
+    done;
+    let fre = float_of_int reps and fev = float_of_int events in
+    let packed_eps = fev /. (!packed_dt /. fre) in
+    let boxed_eps = fev /. (!boxed_dt /. fre) in
+    {
+      scheme = Run.scheme_name kind;
+      packed_eps;
+      boxed_eps;
+      speedup = packed_eps /. boxed_eps;
+      minor_words_per_event = !packed_words /. fre /. fev;
+      identical = !r_packed = !r_boxed;
+    }
   in
-  let base_eps, base_dt = measure Hscd_sim.Run.Base in
-  let tpi_eps, tpi_dt = measure Hscd_sim.Run.TPI in
-  Printf.printf
-    "  engine/events_per_sec                      %12.0f ev/s (P=64, %d events, %.3f s/run)\n%!"
-    base_eps events base_dt;
-  Printf.printf
-    "  engine/events_per_sec (TPI end-to-end)     %12.0f ev/s (P=64, %d events, %.3f s/run)\n%!"
-    tpi_eps events tpi_dt
+  {
+    processors;
+    events;
+    slab_words = Trace.packed_slab_words p;
+    rows = List.map row schemes;
+  }
+
+let print_report (r : report) =
+  List.iter
+    (fun row ->
+      Printf.printf
+        "  engine/events_per_sec (%-4s packed)        %12.0f ev/s (P=%d, %d events)\n"
+        row.scheme row.packed_eps r.processors r.events;
+      Printf.printf
+        "  engine/events_per_sec (%-4s boxed)         %12.0f ev/s (speedup %.2fx, %s)\n"
+        row.scheme row.boxed_eps row.speedup
+        (if row.identical then "bit-identical" else "DIVERGED");
+      Printf.printf "  engine/gc_minor_words_per_event (%-4s)     %12.2f words\n%!" row.scheme
+        row.minor_words_per_event)
+    r.rows;
+  Printf.printf "  trace/packed_slab_words                    %12d words (%d slots)\n%!"
+    r.slab_words r.events
+
+let report_to_json (r : report) =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "{\n  \"processors\": %d,\n  \"events\": %d,\n  \"packed_slab_words\": %d,\n  \"schemes\": [\n"
+       r.processors r.events r.slab_words);
+  List.iteri
+    (fun i row ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"scheme\": \"%s\", \"events_per_sec_packed\": %.0f, \"events_per_sec_boxed\": %.0f, \"speedup\": %.3f, \"gc_minor_words_per_event\": %.3f, \"bit_identical\": %b}%s\n"
+           row.scheme row.packed_eps row.boxed_eps row.speedup row.minor_words_per_event
+           row.identical
+           (if i = List.length r.rows - 1 then "" else ",")))
+    r.rows;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let engine_throughput () = print_report (measure ())
 
 (* compare_all_schemes: the paper's methodology (one trace, every scheme)
    at jobs=1 vs jobs=N — the multicore experiment-runner speedup. Results
    are bit-identical; only the wall clock moves. *)
 let compare_wall_clock () =
-  let cfg = { Hscd_arch.Config.default with processors = 16 } in
+  let cfg = { Config.default with processors = 16 } in
   let prog = Hscd_workloads.Kernels.jacobi1d ~n:1024 ~iters:4 () in
   let time jobs =
     let t0 = Unix.gettimeofday () in
-    let _, results = Hscd_sim.Run.compare ~cfg ~jobs prog in
+    let _, results = Run.compare ~cfg ~jobs prog in
     (Unix.gettimeofday () -. t0, results)
   in
   let seq, r1 = time 1 in
@@ -48,7 +151,7 @@ let compare_wall_clock () =
   let par, rn = time jobs in
   let identical =
     List.for_all2
-      (fun (a : Hscd_sim.Run.comparison) (b : Hscd_sim.Run.comparison) ->
+      (fun (a : Run.comparison) (b : Run.comparison) ->
         a.kind = b.kind && a.result = b.result)
       r1 rn
   in

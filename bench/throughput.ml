@@ -1,6 +1,44 @@
-(* Standalone engine-throughput probe: the two wall-clock benches of
+(* Standalone engine-throughput probe: the wall-clock benches of
    bench/main.ml's part 3 without the full table regeneration — a quick
-   before/after check when touching the engine hot path. *)
+   before/after check when touching the engine hot path.
+
+   Flags:
+     --smoke       capped workload; exit 1 when the packed replay is not
+                   bit-identical to the boxed one or allocates >= 8
+                   minor-heap words per event (the @perf-smoke alias)
+     --json PATH   also write the measurements as JSON *)
+
 let () =
-  Perf.engine_throughput ();
-  Perf.compare_wall_clock ()
+  let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  let json_path =
+    let r = ref None in
+    Array.iteri
+      (fun i a -> if a = "--json" && i + 1 < Array.length Sys.argv then r := Some Sys.argv.(i + 1))
+      Sys.argv;
+    !r
+  in
+  let report =
+    if smoke then Perf.measure ~processors:16 ~n:512 ~iters:2 ~reps:1 ()
+    else Perf.measure ()
+  in
+  Perf.print_report report;
+  (match json_path with
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Perf.report_to_json report);
+    close_out oc;
+    Printf.printf "  json written to %s\n%!" path
+  | None -> ());
+  if not smoke then Perf.compare_wall_clock ();
+  let bad =
+    List.filter
+      (fun (r : Perf.scheme_row) -> (not r.identical) || r.minor_words_per_event >= 8.0)
+      report.Perf.rows
+  in
+  List.iter
+    (fun (r : Perf.scheme_row) ->
+      Printf.eprintf
+        "throughput: FAIL %s (identical=%b, minor_words_per_event=%.2f >= 8.0?)\n" r.scheme
+        r.identical r.minor_words_per_event)
+    bad;
+  if bad <> [] then exit 1

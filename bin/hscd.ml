@@ -163,15 +163,24 @@ let trace_cmd =
     Term.(const run $ program_arg $ out_arg)
 
 let replay_cmd =
-  let run path scheme procs line tag =
+  let run path scheme procs line tag boxed =
     let cfg = cfg_of procs line tag in
     let trace = Hscd_sim.Trace_io.load path in
-    let r = Hscd_sim.Run.simulate ~cfg scheme trace in
+    let r =
+      if boxed then Hscd_sim.Run.simulate_boxed ~cfg scheme trace
+      else Hscd_sim.Run.simulate ~cfg scheme trace
+    in
     print_metrics scheme r
   in
   let path_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE") in
+  let boxed_arg =
+    Arg.(
+      value & flag
+      & info [ "boxed" ]
+          ~doc:"Replay through the legacy boxed event loop instead of the packed engine path")
+  in
   Cmd.v (Cmd.info "replay" ~doc:"Simulate a previously dumped trace file")
-    Term.(const run $ path_arg $ scheme_arg $ procs_arg $ line_arg $ tag_arg)
+    Term.(const run $ path_arg $ scheme_arg $ procs_arg $ line_arg $ tag_arg $ boxed_arg)
 
 let fuzz_cmd =
   let module F = Hscd_check.Fuzz in

@@ -26,6 +26,43 @@ let of_ast_wmark : Hscd_lang.Ast.wmark -> wmark = function
 
 let is_memory_access = function Read _ | Write _ -> true | Compute _ | Lock | Unlock -> false
 
+(** Integer encodings for the packed (structure-of-arrays) trace form:
+    one opcode plus one mark code per event, so the replay hot path decodes
+    events from unboxed [int array]s without constructing variants. *)
+module Code = struct
+  (* opcodes *)
+  let compute = 0
+  let read = 1
+  let write = 2
+  let lock = 3
+  let unlock = 4
+
+  (* read-mark codes: the Time-Read distance rides in the code itself *)
+  let rmark_base = 3
+
+  let of_rmark = function
+    | Unmarked -> 0
+    | Normal_read -> 1
+    | Bypass_read -> 2
+    | Time_read d ->
+      if d < 0 then invalid_arg "Event.Code: negative Time_read distance";
+      rmark_base + d
+
+  let rmark_of = function
+    | 0 -> Unmarked
+    | 1 -> Normal_read
+    | 2 -> Bypass_read
+    | c -> Time_read (c - rmark_base)
+
+  (** Decode table covering codes [0 .. max_code]: replay looks marks up by
+      index so no [Time_read] cell is ever constructed in the hot loop. *)
+  let rmark_table ~max_code = Array.init (max 3 max_code + 1) rmark_of
+
+  (* write-mark codes (the mark slot is interpreted per opcode) *)
+  let of_wmark = function Normal_write -> 0 | Bypass_write -> 1
+  let wmark_of = function 0 -> Normal_write | _ -> Bypass_write
+end
+
 let to_string = function
   | Compute n -> Printf.sprintf "compute %d" n
   | Read { addr; mark; value; array } ->

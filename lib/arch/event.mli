@@ -18,3 +18,27 @@ val of_ast_wmark : Hscd_lang.Ast.wmark -> wmark
 
 val is_memory_access : t -> bool
 val to_string : t -> string
+
+(** Integer encodings for the packed (structure-of-arrays) trace form. *)
+module Code : sig
+  val compute : int
+  val read : int
+  val write : int
+  val lock : int
+  val unlock : int
+
+  (** Read-mark codes: 0 Unmarked, 1 Normal, 2 Bypass, [rmark_base + d] for
+      [Time_read d]. *)
+  val rmark_base : int
+
+  val of_rmark : rmark -> int
+  val rmark_of : int -> rmark
+
+  (** Preallocated decode table for codes [0 .. max_code] (at least the
+      three non-Time marks), so the replay loop never constructs a
+      [Time_read] cell. *)
+  val rmark_table : max_code:int -> rmark array
+
+  val of_wmark : wmark -> int
+  val wmark_of : int -> wmark
+end

@@ -66,22 +66,25 @@ let touch_lru t line =
   t.tick <- t.tick + 1;
   line.lru <- t.tick
 
+(* Top-level so the per-access scan allocates no closure: this runs on
+   every cached reference of the replay hot path, and a local [let rec]
+   capturing [set]/[mem_line] would cost a closure per call. *)
+let rec scan_set set mem_line i =
+  if i >= Array.length set then None
+  else if set.(i).tag = mem_line && set.(i).state <> invalid_state then Some set.(i)
+  else scan_set set mem_line (i + 1)
+
 (** Find the cache line currently holding [addr], if any (does not bump
     LRU; callers decide). *)
 let probe t addr =
   let mem_line = line_of_addr t addr in
-  let set = t.sets.(set_of_line t mem_line) in
-  let rec scan i =
-    if i >= Array.length set then None
-    else if set.(i).tag = mem_line && set.(i).state <> invalid_state then Some set.(i)
-    else scan (i + 1)
-  in
-  scan 0
+  scan_set t.sets.(set_of_line t mem_line) mem_line 0
 
 let find t addr =
-  match probe t addr with
-  | Some l -> touch_lru t l; Some l
-  | None -> None
+  let mem_line = line_of_addr t addr in
+  let res = scan_set t.sets.(set_of_line t mem_line) mem_line 0 in
+  (match res with Some l -> touch_lru t l | None -> ());
+  res
 
 let clear_line l =
   l.tag <- -1;
@@ -99,19 +102,26 @@ let allocate t ~on_evict addr =
   let mem_line = line_of_addr t addr in
   let set = t.sets.(set_of_line t mem_line) in
   (* reuse the matching frame if present (e.g. refetch of an invalidated
-     line), else a free frame, else the LRU victim *)
+     line), else a free frame, else the LRU victim — one allocation-free
+     index scan, a matching frame preferred over a free one *)
   let frame =
-    let matching = Array.to_list set |> List.find_opt (fun l -> l.tag = mem_line) in
-    match matching with
-    | Some l -> l
-    | None -> (
-      match Array.to_list set |> List.find_opt (fun l -> l.state = invalid_state) with
-      | Some l -> l
-      | None ->
-        let victim = Array.fold_left (fun a l -> if l.lru < a.lru then l else a) set.(0) set in
-        t.evictions <- t.evictions + 1;
-        on_evict victim;
-        victim)
+    let n = Array.length set in
+    let matching = ref (-1) and free = ref (-1) in
+    for i = n - 1 downto 0 do
+      if set.(i).tag = mem_line then matching := i
+      else if set.(i).state = invalid_state then free := i
+    done;
+    if !matching >= 0 then set.(!matching)
+    else if !free >= 0 then set.(!free)
+    else begin
+      let victim = ref set.(0) in
+      for i = 1 to n - 1 do
+        if set.(i).lru < (!victim).lru then victim := set.(i)
+      done;
+      t.evictions <- t.evictions + 1;
+      on_evict !victim;
+      !victim
+    end
   in
   clear_line frame;
   frame.tag <- mem_line;

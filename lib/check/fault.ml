@@ -48,7 +48,8 @@ let wrap fault ~processors (Scheme.Packed ((module S), s)) : Scheme.packed =
       match fault with
       | Corrupt_read_value n ->
         incr reads;
-        if !reads mod n = 0 then { r with Scheme.value = r.Scheme.value + 1 } else r
+        if !reads mod n = 0 then r.Scheme.value <- r.Scheme.value + 1;
+        r
       | _ -> r
 
     let write () ~proc ~addr ~array ~value ~mark = S.write s ~proc ~addr ~array ~value ~mark

@@ -47,6 +47,8 @@ let run ?(schemes = Run.all_schemes) ?fault ?jobs (cfg : Config.t) (trace : Trac
   let cfg = Config.validate cfg in
   let words = Trace.memory_words trace in
   let n_epochs = Trace.n_epochs trace in
+  (* pack once; the slabs are immutable and shared read-only by the domains *)
+  let ptrace = Trace.pack trace in
   let runs =
     (* one domain per scheme: every run builds its own network, traffic,
        scheme state and monitor, so the fan-out is bit-deterministic *)
@@ -61,7 +63,7 @@ let run ?(schemes = Run.all_schemes) ?fault ?jobs (cfg : Config.t) (trace : Trac
           | _ -> inner
         in
         let m = Monitor.create ~processors:cfg.processors ~words in
-        let result = Engine.run cfg (Monitor.wrap m subject) ~net:network ~traffic trace in
+        let result = Engine.run cfg (Monitor.wrap m subject) ~net:network ~traffic ptrace in
         let final =
           match subject with Scheme.Packed ((module S), s) -> Array.copy (S.memory_image s)
         in

@@ -18,23 +18,24 @@ type t = {
   net : Kruskal_snir.t;
   traffic : Traffic.t;
   st : Scheme.stats;
+  res : Scheme.access_result;
 }
 
 let name = "BASE"
 
 let create cfg ~memory_words ~network ~traffic =
-  { cfg; mem = Memstate.create ~words:memory_words; net = network; traffic; st = Scheme.fresh_stats () }
+  { cfg; mem = Memstate.create ~words:memory_words; net = network; traffic;
+    st = Scheme.fresh_stats (); res = Scheme.fresh_result () }
 
-let read t ~proc:_ ~addr ~array:_ ~mark:_ =
+let read t ~proc:_ ~addr ~array:(_ : int) ~mark:_ =
   Traffic.add_control t.traffic Scheme.control_words;
   Traffic.add_read t.traffic 1;
-  {
-    Scheme.latency = Scheme.transfer_latency t.cfg t.net ~words:1;
-    value = Memstate.read t.mem addr;
-    cls = Scheme.Uncached;
-  }
+  Scheme.set_result t.res
+    ~latency:(Scheme.transfer_latency t.cfg t.net ~words:1)
+    ~value:(Memstate.read t.mem addr)
+    ~cls:Scheme.Uncached
 
-let write t ~proc ~addr ~array:_ ~value ~mark:_ =
+let write t ~proc ~addr ~array:(_ : int) ~value ~mark:_ =
   Memstate.write t.mem ~proc addr value;
   Traffic.add_write t.traffic 1;
   Traffic.add_control t.traffic Scheme.control_words;
@@ -43,7 +44,7 @@ let write t ~proc ~addr ~array:_ ~value ~mark:_ =
     | Config.Weak -> 1 (* retires through the infinite write buffer *)
     | Config.Sequential -> Scheme.transfer_latency t.cfg t.net ~words:1
   in
-  { Scheme.latency; value; cls = Scheme.Uncached }
+  Scheme.set_result t.res ~latency ~value ~cls:Scheme.Uncached
 
 let epoch_boundary t = Array.make t.cfg.processors 0
 

@@ -38,6 +38,7 @@ type t = {
   net : Kruskal_snir.t;
   traffic : Traffic.t;
   st : Scheme.stats;
+  res : Scheme.access_result;
 }
 
 let name = "HW"
@@ -55,6 +56,7 @@ let create cfg ~memory_words ~network ~traffic =
     net = network;
     traffic;
     st = Scheme.fresh_stats ();
+    res = Scheme.fresh_result ();
   }
 
 let mem_line t addr = addr / t.cfg.line_words
@@ -165,17 +167,18 @@ let miss_class t ~proc ~addr =
   | Some _ | None ->
     if was_fetched t ~proc (mem_line t addr) then Scheme.Replacement else Scheme.Cold
 
-let read t ~proc ~addr ~array:_ ~mark:_ =
+let read t ~proc ~addr ~array:(_ : int) ~mark:_ =
   match Cache.find t.caches.(proc) addr with
   | Some line when line.state = s_shared || line.state = s_modified ->
     line.touched.(off_of t addr) <- true;
-    { Scheme.latency = t.cfg.hit_cycles; value = line.values.(off_of t addr); cls = Scheme.Hit }
+    Scheme.set_result t.res ~latency:t.cfg.hit_cycles ~value:line.values.(off_of t addr)
+      ~cls:Scheme.Hit
   | _ ->
     let cls = miss_class t ~proc ~addr in
     let line, latency = fetch_line t ~proc ~addr ~state:s_shared in
-    { Scheme.latency; value = line.values.(off_of t addr); cls }
+    Scheme.set_result t.res ~latency ~value:line.values.(off_of t addr) ~cls
 
-let write t ~proc ~addr ~array:_ ~value ~mark:_ =
+let write t ~proc ~addr ~array:(_ : int) ~value ~mark:_ =
   Memstate.write t.mem ~proc addr value;
   let off = off_of t addr in
   (* weak consistency retires stores in one cycle behind the write buffer;
@@ -187,7 +190,7 @@ let write t ~proc ~addr ~array:_ ~value ~mark:_ =
   | Some line when line.state = s_modified ->
     line.values.(off) <- value;
     line.touched.(off) <- true;
-    { Scheme.latency = t.cfg.hit_cycles; value; cls = Scheme.Hit }
+    Scheme.set_result t.res ~latency:t.cfg.hit_cycles ~value ~cls:Scheme.Hit
   | Some line when line.state = s_shared ->
     (* upgrade: invalidate other sharers *)
     t.st.upgrades <- t.st.upgrades + 1;
@@ -196,13 +199,14 @@ let write t ~proc ~addr ~array:_ ~value ~mark:_ =
     line.state <- s_modified;
     line.values.(off) <- value;
     line.touched.(off) <- true;
-    { Scheme.latency = retire (Scheme.transfer_latency t.cfg t.net ~words:1); value;
-      cls = Scheme.Hit }
+    Scheme.set_result t.res
+      ~latency:(retire (Scheme.transfer_latency t.cfg t.net ~words:1))
+      ~value ~cls:Scheme.Hit
   | _ ->
     let cls = miss_class t ~proc ~addr in
     let line, fetch_latency = fetch_line t ~proc ~addr ~state:s_modified in
     line.values.(off) <- value;
-    { Scheme.latency = retire fetch_latency; value; cls }
+    Scheme.set_result t.res ~latency:(retire fetch_latency) ~value ~cls
 
 let epoch_boundary t = Array.make t.cfg.processors 0
 

@@ -21,20 +21,20 @@ let name = "INV"
 let create cfg ~memory_words ~network ~traffic =
   { w = Wt_common.create cfg ~memory_words ~network ~traffic }
 
-let read t ~proc ~addr ~array:_ ~mark =
+let read t ~proc ~addr ~array:(_ : int) ~mark =
   let w = t.w in
   let off = addr land (w.cfg.line_words - 1) in
   match mark with
   | Event.Bypass_read ->
     Traffic.add_read w.traffic 1;
     Traffic.add_control w.traffic Scheme.control_words;
-    { Scheme.latency = Wt_common.word_fetch_latency w;
-      value = Memstate.read w.Wt_common.mem addr; cls = Scheme.Uncached }
+    Scheme.set_result w.res ~latency:(Wt_common.word_fetch_latency w)
+      ~value:(Memstate.read w.Wt_common.mem addr) ~cls:Scheme.Uncached
   | Event.Normal_read | Event.Unmarked | Event.Time_read _ -> (
     match Cache.find w.caches.(proc) addr with
     | Some line when line.word_valid.(off) ->
       line.touched.(off) <- true;
-      { Scheme.latency = w.cfg.hit_cycles; value = line.values.(off); cls = Scheme.Hit }
+      Scheme.set_result w.res ~latency:w.cfg.hit_cycles ~value:line.values.(off) ~cls:Scheme.Hit
     | probed ->
       let cls =
         match probed with
@@ -45,9 +45,10 @@ let read t ~proc ~addr ~array:_ ~mark =
         | None -> Wt_common.absent_class w ~proc addr
       in
       let line = Wt_common.fetch_line w ~proc ~addr ~ref_meta:0 ~other_meta:0 in
-      { Scheme.latency = Wt_common.line_fetch_latency w; value = line.values.(off); cls })
+      Scheme.set_result w.res ~latency:(Wt_common.line_fetch_latency w)
+        ~value:line.values.(off) ~cls)
 
-let write t ~proc ~addr ~array:_ ~value ~mark =
+let write t ~proc ~addr ~array:(_ : int) ~value ~mark =
   match mark with
   | Event.Normal_write -> Wt_common.write_through t.w ~proc ~addr ~value ~meta:0 ~other_meta:0
   | Event.Bypass_write -> Wt_common.write_bypass t.w ~proc ~addr ~value ~meta:0

@@ -39,18 +39,18 @@ let read t ~proc ~addr ~array ~mark =
   if overflowed && r.Scheme.cls <> Scheme.Hit then begin
     (* the directory must consult the software handler to extend the list *)
     t.traps <- t.traps + 1;
-    { r with Scheme.latency = r.Scheme.latency + t.trap_cycles }
-  end
-  else r
+    r.Scheme.latency <- r.Scheme.latency + t.trap_cycles
+  end;
+  r
 
 let write t ~proc ~addr ~array ~value ~mark =
   let overflowed = sharers t addr > t.pointers in
   let r = Hwdir.write t.hw ~proc ~addr ~array ~value ~mark in
   if overflowed then begin
     t.traps <- t.traps + 1;
-    { r with Scheme.latency = r.Scheme.latency + t.trap_cycles }
-  end
-  else r
+    r.Scheme.latency <- r.Scheme.latency + t.trap_cycles
+  end;
+  r
 
 let epoch_boundary t = Hwdir.epoch_boundary t.hw
 

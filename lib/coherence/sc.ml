@@ -20,7 +20,7 @@ let name = "SC"
 let create cfg ~memory_words ~network ~traffic =
   { w = Wt_common.create cfg ~memory_words ~network ~traffic }
 
-let read t ~proc ~addr ~array:_ ~mark =
+let read t ~proc ~addr ~array:(_ : int) ~mark =
   let w = t.w in
   let off = addr land (w.cfg.line_words - 1) in
   match mark with
@@ -28,11 +28,12 @@ let read t ~proc ~addr ~array:_ ~mark =
     match Cache.find w.caches.(proc) addr with
     | Some line when line.word_valid.(off) ->
       line.touched.(off) <- true;
-      { Scheme.latency = w.cfg.hit_cycles; value = line.values.(off); cls = Scheme.Hit }
+      Scheme.set_result w.res ~latency:w.cfg.hit_cycles ~value:line.values.(off) ~cls:Scheme.Hit
     | _ ->
       let cls = Wt_common.absent_class w ~proc addr in
       let line = Wt_common.fetch_line w ~proc ~addr ~ref_meta:0 ~other_meta:0 in
-      { Scheme.latency = Wt_common.line_fetch_latency w; value = line.values.(off); cls })
+      Scheme.set_result w.res ~latency:(Wt_common.line_fetch_latency w)
+        ~value:line.values.(off) ~cls)
   | Event.Time_read _ | Event.Bypass_read ->
     (* statically stale: always refetch the line from memory *)
     let cls =
@@ -41,9 +42,10 @@ let read t ~proc ~addr ~array:_ ~mark =
       | Some _ | None -> Wt_common.absent_class w ~proc addr
     in
     let line = Wt_common.fetch_line w ~proc ~addr ~ref_meta:0 ~other_meta:0 in
-    { Scheme.latency = Wt_common.line_fetch_latency w; value = line.values.(off); cls }
+    Scheme.set_result w.res ~latency:(Wt_common.line_fetch_latency w) ~value:line.values.(off)
+      ~cls
 
-let write t ~proc ~addr ~array:_ ~value ~mark =
+let write t ~proc ~addr ~array:(_ : int) ~value ~mark =
   match mark with
   | Event.Normal_write -> Wt_common.write_through t.w ~proc ~addr ~value ~meta:0 ~other_meta:0
   | Event.Bypass_write -> Wt_common.write_bypass t.w ~proc ~addr ~value ~meta:0

@@ -35,11 +35,27 @@ let class_name = function
   | Reset_inv -> "reset"
   | Uncached -> "uncached"
 
+(** Result of one access. The fields are mutable so a scheme can fill a
+    single scratch record per instance instead of allocating one per
+    access (the replay hot path is allocation-free in steady state): the
+    record a scheme returns is owned by that scheme and only valid until
+    its next [read]/[write] call — callers must copy out any field they
+    keep. *)
 type access_result = {
-  latency : int;  (** cycles the issuing processor stalls *)
-  value : int;  (** value delivered to the processor (reads) *)
-  cls : miss_class;
+  mutable latency : int;  (** cycles the issuing processor stalls *)
+  mutable value : int;  (** value delivered to the processor (reads) *)
+  mutable cls : miss_class;
 }
+
+(** Fresh scratch record for a scheme instance. *)
+let fresh_result () = { latency = 0; value = 0; cls = Hit }
+
+(** Fill-and-return helper for scheme scratch records. *)
+let set_result r ~latency ~value ~cls =
+  r.latency <- latency;
+  r.value <- value;
+  r.cls <- cls;
+  r
 
 (** Aggregate counters every scheme exposes. *)
 type stats = {
@@ -61,10 +77,14 @@ module type S = sig
   val create :
     Config.t -> memory_words:int -> network:Kruskal_snir.t -> traffic:Traffic.t -> t
 
-  val read : t -> proc:int -> addr:int -> array:string -> mark:Event.rmark -> access_result
+  (** [array] is the interned dense id of the referenced array (the
+      {!Hscd_util.Symtab} of the packed trace, ids in [Shape.layout] base
+      order) — schemes that reason per variable (VC) index plain arrays
+      with it; no strings reach the replay loop. *)
+  val read : t -> proc:int -> addr:int -> array:int -> mark:Event.rmark -> access_result
 
   val write :
-    t -> proc:int -> addr:int -> array:string -> value:int -> mark:Event.wmark -> access_result
+    t -> proc:int -> addr:int -> array:int -> value:int -> mark:Event.wmark -> access_result
 
   (** Called at every epoch boundary; returns per-processor stall cycles
       (two-phase resets, buffer drains). *)

@@ -47,7 +47,7 @@ let word_hit t (line : Cache.line) ~off ~(mark : Event.rmark) =
   | Event.Time_read d -> age t line.meta.(off) <= d
   | Event.Bypass_read -> false
 
-let read t ~proc ~addr ~array:_ ~mark =
+let read t ~proc ~addr ~array:(_ : int) ~mark =
   let w = t.w in
   let off = addr land (w.cfg.line_words - 1) in
   match mark with
@@ -60,12 +60,13 @@ let read t ~proc ~addr ~array:_ ~mark =
       | Some line when line.word_valid.(off) -> Wt_common.stale_copy_class w ~proc ~line addr
       | Some _ | None -> Scheme.Uncached
     in
-    { Scheme.latency = Wt_common.word_fetch_latency w; value = Memstate.read w.mem addr; cls }
+    Scheme.set_result w.res ~latency:(Wt_common.word_fetch_latency w)
+      ~value:(Memstate.read w.mem addr) ~cls
   | _ -> (
     match Cache.find w.caches.(proc) addr with
     | Some line when word_hit t line ~off ~mark ->
       line.touched.(off) <- true;
-      { Scheme.latency = w.cfg.hit_cycles; value = line.values.(off); cls = Scheme.Hit }
+      Scheme.set_result w.res ~latency:w.cfg.hit_cycles ~value:line.values.(off) ~cls:Scheme.Hit
     | probed ->
       let cls =
         match probed with
@@ -78,9 +79,10 @@ let read t ~proc ~addr ~array:_ ~mark =
       let line =
         Wt_common.fetch_line w ~proc ~addr ~ref_meta:t.epoch ~other_meta:(t.epoch - 1)
       in
-      { Scheme.latency = Wt_common.line_fetch_latency w; value = line.values.(off); cls })
+      Scheme.set_result w.res ~latency:(Wt_common.line_fetch_latency w)
+        ~value:line.values.(off) ~cls)
 
-let write t ~proc ~addr ~array:_ ~value ~mark =
+let write t ~proc ~addr ~array:(_ : int) ~value ~mark =
   match mark with
   | Event.Normal_write ->
     Wt_common.write_through t.w ~proc ~addr ~value ~meta:t.epoch ~other_meta:(t.epoch - 1)

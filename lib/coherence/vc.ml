@@ -24,8 +24,8 @@ module Event = Hscd_arch.Event
 
 type t = {
   w : Wt_common.t;
-  versions : (string, int) Hashtbl.t;  (** CVN per array *)
-  written_this_epoch : (string, unit) Hashtbl.t;
+  mutable versions : int array;  (** CVN per interned array id (dense) *)
+  mutable written_this_epoch : Bytes.t;  (** dirty flag per interned array id *)
 }
 
 let name = "VC"
@@ -33,11 +33,25 @@ let name = "VC"
 let create cfg ~memory_words ~network ~traffic =
   {
     w = Wt_common.create cfg ~memory_words ~network ~traffic;
-    versions = Hashtbl.create 16;
-    written_this_epoch = Hashtbl.create 16;
+    versions = Array.make 16 0;
+    written_this_epoch = Bytes.make 16 '\000';
   }
 
-let cvn t array = match Hashtbl.find_opt t.versions array with Some v -> v | None -> 0
+(* Dense-id tables grow (rarely — only when a trace introduces a new
+   array id) by doubling; steady-state accesses are plain array reads. *)
+let ensure t id =
+  let n = Array.length t.versions in
+  if id >= n then begin
+    let n' = max (id + 1) (2 * n) in
+    let versions = Array.make n' 0 in
+    Array.blit t.versions 0 versions 0 n;
+    t.versions <- versions;
+    let dirty = Bytes.make n' '\000' in
+    Bytes.blit t.written_this_epoch 0 dirty 0 (Bytes.length t.written_this_epoch);
+    t.written_this_epoch <- dirty
+  end
+
+let cvn t array = if array < Array.length t.versions then t.versions.(array) else 0
 
 let read t ~proc ~addr ~array ~mark =
   let w = t.w in
@@ -51,7 +65,7 @@ let read t ~proc ~addr ~array ~mark =
   match Cache.find w.caches.(proc) addr with
   | Some line when line.word_valid.(off) && version_ok line ->
     line.touched.(off) <- true;
-    { Scheme.latency = w.cfg.hit_cycles; value = line.values.(off); cls = Scheme.Hit }
+    Scheme.set_result w.res ~latency:w.cfg.hit_cycles ~value:line.values.(off) ~cls:Scheme.Hit
   | probed ->
     let cls =
       match probed with
@@ -60,10 +74,12 @@ let read t ~proc ~addr ~array ~mark =
     in
     let v = cvn t array in
     let line = Wt_common.fetch_line w ~proc ~addr ~ref_meta:v ~other_meta:(v - 1) in
-    { Scheme.latency = Wt_common.line_fetch_latency w; value = line.values.(off); cls }
+    Scheme.set_result w.res ~latency:(Wt_common.line_fetch_latency w) ~value:line.values.(off)
+      ~cls
 
 let write t ~proc ~addr ~array ~value ~mark =
-  Hashtbl.replace t.written_this_epoch array ();
+  ensure t array;
+  Bytes.set t.written_this_epoch array '\001';
   let next = cvn t array + 1 in
   match mark with
   | Event.Normal_write ->
@@ -73,9 +89,12 @@ let write t ~proc ~addr ~array ~value ~mark =
 let epoch_boundary t =
   Wt_common.drain_buffers t.w;
   (* bump the CVN of every variable written during the epoch *)
-  Hashtbl.iter (fun array () -> Hashtbl.replace t.versions array (cvn t array + 1))
-    t.written_this_epoch;
-  Hashtbl.reset t.written_this_epoch;
+  for id = 0 to Bytes.length t.written_this_epoch - 1 do
+    if Bytes.get t.written_this_epoch id = '\001' then begin
+      t.versions.(id) <- t.versions.(id) + 1;
+      Bytes.set t.written_this_epoch id '\000'
+    end
+  done;
   Array.make t.w.cfg.processors 0
 
 let stats t = t.w.st

@@ -23,6 +23,7 @@ type t = {
   traffic : Traffic.t;
   st : Scheme.stats;
   memory_lines : int;
+  res : Scheme.access_result;  (** per-instance scratch, reused every access *)
 }
 
 (* We reuse the Cache line state field as a single "resident" flag. *)
@@ -40,6 +41,7 @@ let create cfg ~memory_words ~network ~traffic =
     traffic;
     st = Scheme.fresh_stats ();
     memory_lines;
+    res = Scheme.fresh_result ();
   }
 
 let mark_fetched t ~proc line = Bytes.set t.ever_fetched.(proc) line '\001'
@@ -124,7 +126,7 @@ let write_through t ~proc ~addr ~value ~meta ~other_meta =
     | Config.Sequential ->
       word_fetch_latency t + (if cls = Scheme.Hit then 0 else line_fetch_latency t)
   in
-  { Scheme.latency; value; cls }
+  Scheme.set_result t.res ~latency ~value ~cls
 
 (** Uncached store (critical sections): memory and any local copy updated. *)
 let write_bypass t ~proc ~addr ~value ~meta =
@@ -143,7 +145,7 @@ let write_bypass t ~proc ~addr ~value ~meta =
     | Config.Weak -> 1
     | Config.Sequential -> word_fetch_latency t
   in
-  { Scheme.latency; value; cls = Scheme.Uncached }
+  Scheme.set_result t.res ~latency ~value ~cls:Scheme.Uncached
 
 (** Drain all write buffers at an epoch boundary; traffic only. *)
 let drain_buffers t =

@@ -51,7 +51,7 @@ let run_all ?(cfg = Config.default) ?(schemes = Run.all_schemes) ?(intertask = t
     in
     let sims =
       Hscd_util.Pool.map ?jobs
-        (fun ((c : Run.compiled), kind) -> Run.simulate ~cfg kind c.trace)
+        (fun ((c : Run.compiled), kind) -> Run.simulate_packed ~cfg kind c.packed_trace)
         grid
     in
     let rec chunk n = function

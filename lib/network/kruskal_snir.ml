@@ -14,7 +14,16 @@ type t = {
   mutable rho : float;  (** current estimated per-link utilization *)
   rho_max : float;
   mutable samples : int;
+  mutable rt_excess : int;  (** round-trip excess at the current load *)
 }
+
+(** Expected queueing delay added by one stage at load [rho]. *)
+let stage_excess_at ~degree rho =
+  let k = float_of_int degree in
+  rho *. (1.0 -. (1.0 /. k)) /. (2.0 *. (1.0 -. rho))
+
+let round_trip_at ~stages ~degree rho =
+  int_of_float (Float.round (2.0 *. float_of_int stages *. stage_excess_at ~degree rho))
 
 let create (c : Hscd_arch.Config.t) =
   {
@@ -23,25 +32,27 @@ let create (c : Hscd_arch.Config.t) =
     rho = 0.0;
     rho_max = 0.95;
     samples = 0;
+    rt_excess = 0;
   }
 
+(* The integer excess is recomputed here — loads change only at epoch
+   boundaries — so [round_trip_excess] is a field read with no float
+   boxing on the per-miss path. *)
 let set_load t rho =
   t.rho <- Float.max 0.0 (Float.min t.rho_max rho);
-  t.samples <- t.samples + 1
+  t.samples <- t.samples + 1;
+  t.rt_excess <- round_trip_at ~stages:t.stages ~degree:t.degree t.rho
 
 let load t = t.rho
 
 (** Expected queueing delay added by one stage at the current load. *)
-let stage_excess t =
-  let k = float_of_int t.degree in
-  let rho = t.rho in
-  rho *. (1.0 -. (1.0 /. k)) /. (2.0 *. (1.0 -. rho))
+let stage_excess t = stage_excess_at ~degree:t.degree t.rho
 
 (** One-way expected excess over the unloaded traversal, in cycles. *)
 let one_way_excess t = float_of_int t.stages *. stage_excess t
 
 (** Integer round-trip queueing excess charged per remote transaction. *)
-let round_trip_excess t = int_of_float (Float.round (2.0 *. one_way_excess t))
+let round_trip_excess t = t.rt_excess
 
 let describe t =
   Printf.sprintf "%d-stage %dx%d multistage, rho=%.3f (+%d cycles RT)" t.stages t.degree

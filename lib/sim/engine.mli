@@ -1,7 +1,8 @@
-(** The multiprocessor timing engine: replays a trace against one
+(** The multiprocessor timing engine: replays a packed trace against one
     coherence scheme in global clock order, with barriers, ticket-ordered
     critical sections, static/dynamic scheduling, mid-task migration, and
-    per-load verification against the golden interpreter. *)
+    per-load verification against the golden interpreter. The hot path is
+    allocation-free in steady state. *)
 
 type violation = { epoch : int; proc : int; addr : int; expected : int; got : int }
 
@@ -15,7 +16,19 @@ type result = {
 
 val max_violations : int
 
+(** Native replay of the packed structure-of-arrays trace form. *)
 val run :
+  Hscd_arch.Config.t ->
+  Hscd_coherence.Scheme.packed ->
+  net:Hscd_network.Kruskal_snir.t ->
+  traffic:Hscd_network.Traffic.t ->
+  Trace.packed ->
+  result
+
+(** Legacy replay of the boxed event stream through the same timing
+    model; bit-identical to {!run} on the packed form of the same trace
+    (asserted by the test suite). *)
+val run_boxed :
   Hscd_arch.Config.t ->
   Hscd_coherence.Scheme.packed ->
   net:Hscd_network.Kruskal_snir.t ->

@@ -28,7 +28,10 @@ let class_of_index = function
 type t = {
   read_classes : int array;
   write_classes : int array;
-  read_miss_latency : Hscd_util.Stats.Accumulator.t;
+  (* int counters, not a float accumulator: the engine bumps these per
+     miss and boxed-float record fields would allocate on every update *)
+  mutable read_miss_count : int;
+  mutable read_miss_cycles : int;
   mutable compute_cycles : int;
   mutable barriers : int;
   mutable lock_acquires : int;
@@ -44,7 +47,8 @@ let create () =
   {
     read_classes = Array.make n_classes 0;
     write_classes = Array.make n_classes 0;
-    read_miss_latency = Hscd_util.Stats.Accumulator.create ();
+    read_miss_count = 0;
+    read_miss_cycles = 0;
     compute_cycles = 0;
     barriers = 0;
     lock_acquires = 0;
@@ -58,7 +62,10 @@ let create () =
 
 let record_read t (r : Scheme.access_result) =
   t.read_classes.(class_index r.cls) <- t.read_classes.(class_index r.cls) + 1;
-  if r.cls <> Scheme.Hit then Hscd_util.Stats.Accumulator.add t.read_miss_latency (float_of_int r.latency)
+  if r.cls <> Scheme.Hit then begin
+    t.read_miss_count <- t.read_miss_count + 1;
+    t.read_miss_cycles <- t.read_miss_cycles + r.latency
+  end
 
 let record_write t (r : Scheme.access_result) =
   t.write_classes.(class_index r.cls) <- t.write_classes.(class_index r.cls) + 1
@@ -87,4 +94,4 @@ let unnecessary_misses t =
 
 let class_count t cls = t.read_classes.(class_index cls) + t.write_classes.(class_index cls)
 
-let avg_read_miss_latency t = Hscd_util.Stats.Accumulator.mean t.read_miss_latency
+let avg_read_miss_latency t = Hscd_util.Stats.ratio t.read_miss_cycles t.read_miss_count

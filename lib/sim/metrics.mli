@@ -10,7 +10,8 @@ val class_of_index : int -> Scheme.miss_class
 type t = {
   read_classes : int array;  (** indexed by {!class_index} *)
   write_classes : int array;
-  read_miss_latency : Hscd_util.Stats.Accumulator.t;
+  mutable read_miss_count : int;
+  mutable read_miss_cycles : int;
   mutable compute_cycles : int;
   mutable barriers : int;
   mutable lock_acquires : int;

@@ -57,40 +57,57 @@ type compiled = {
   marked : Ast.program;
   census : Marking.census;
   trace : Trace.t;
+  packed_trace : Trace.packed;  (** engine-native form, compiled once *)
 }
 
-(** Front half: check, mark, trace. The marking is told whether the
+(** Front half: check, mark, trace, pack. The marking is told whether the
     engine's scheduling policy is static, so owner-alignment stays sound. *)
 let compile ?(cfg = Config.default) ?(intertask = true) ?(check_races = true)
     (program : Ast.program) =
   let program = Sema.check_exn program in
   let m = Marking.mark_program ~static_sched:(Schedule.is_static cfg) ~intertask program in
   let trace = Trace.of_program ~check_races ~line_words:cfg.line_words m.Marking.program in
-  { marked = m.Marking.program; census = m.Marking.census; trace }
+  { marked = m.Marking.program; census = m.Marking.census; trace;
+    packed_trace = Trace.pack trace }
 
-(** Back half: one scheme over a prepared trace. *)
-let simulate ?(cfg = Config.default) kind (trace : Trace.t) =
+(** Back half: one scheme over a packed trace (the engine-native form —
+    packed traces are immutable, so one can be shared across domains). *)
+let simulate_packed ?(cfg = Config.default) kind (trace : Trace.packed) =
+  let cfg = Config.validate cfg in
+  let network = Kruskal_snir.create cfg in
+  let traffic = Traffic.create cfg in
+  let packed = pack kind cfg ~memory_words:(Trace.packed_memory_words trace) ~network ~traffic in
+  Engine.run cfg packed ~net:network ~traffic trace
+
+(** One scheme over a boxed trace via the legacy replay loop —
+    bit-identical to {!simulate_packed} on [Trace.pack trace]. *)
+let simulate_boxed ?(cfg = Config.default) kind (trace : Trace.t) =
   let cfg = Config.validate cfg in
   let network = Kruskal_snir.create cfg in
   let traffic = Traffic.create cfg in
   let packed = pack kind cfg ~memory_words:(Trace.memory_words trace) ~network ~traffic in
-  Engine.run cfg packed ~net:network ~traffic trace
+  Engine.run_boxed cfg packed ~net:network ~traffic trace
+
+(** One scheme over a boxed trace: packs, then replays natively. *)
+let simulate ?(cfg = Config.default) kind (trace : Trace.t) =
+  simulate_packed ~cfg kind (Trace.pack trace)
 
 type comparison = { kind : scheme_kind; result : Engine.result }
 
 (** Everything at once: compile once, then run each scheme on the same
-    trace (the paper's methodology: identical reference streams). With
-    [jobs > 1] the schemes run on separate domains — each simulation owns
-    its network, traffic and scheme state and the engine's PRNG is
-    per-run, so the results are bit-identical to the sequential run. *)
+    trace (the paper's methodology: identical reference streams). The
+    trace is packed once and shared read-only. With [jobs > 1] the
+    schemes run on separate domains — each simulation owns its network,
+    traffic and scheme state and the engine's PRNG is per-run, so the
+    results are bit-identical to the sequential run. *)
 let compare ?(cfg = Config.default) ?(schemes = all_schemes) ?(intertask = true) ?jobs program =
   let c = compile ~cfg ~intertask program in
   ( c,
     Hscd_util.Pool.map ?jobs
-      (fun kind -> { kind; result = simulate ~cfg kind c.trace })
+      (fun kind -> { kind; result = simulate_packed ~cfg kind c.packed_trace })
       schemes )
 
 (** Convenience wrapper running one scheme from source. *)
 let run_source ?(cfg = Config.default) ?(intertask = true) kind program =
   let c = compile ~cfg ~intertask program in
-  (c, simulate ~cfg kind c.trace)
+  (c, simulate_packed ~cfg kind c.packed_trace)

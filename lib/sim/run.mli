@@ -24,10 +24,11 @@ type compiled = {
   marked : Hscd_lang.Ast.program;
   census : Hscd_compiler.Marking.census;
   trace : Trace.t;
+  packed_trace : Trace.packed;  (** engine-native form, compiled once *)
 }
 
 (** Front half: check, mark (soundly w.r.t. the config's scheduling
-    policy), trace. *)
+    policy), trace, pack. *)
 val compile :
   ?cfg:Hscd_arch.Config.t ->
   ?intertask:bool ->
@@ -35,7 +36,15 @@ val compile :
   Hscd_lang.Ast.program ->
   compiled
 
-(** Back half: one scheme over a prepared trace. *)
+(** Back half: one scheme over a packed (engine-native) trace. *)
+val simulate_packed :
+  ?cfg:Hscd_arch.Config.t -> scheme_kind -> Trace.packed -> Engine.result
+
+(** One scheme over a boxed trace via the legacy replay loop —
+    bit-identical to {!simulate_packed} on the packed form. *)
+val simulate_boxed : ?cfg:Hscd_arch.Config.t -> scheme_kind -> Trace.t -> Engine.result
+
+(** One scheme over a boxed trace: packs, then replays natively. *)
 val simulate : ?cfg:Hscd_arch.Config.t -> scheme_kind -> Trace.t -> Engine.result
 
 type comparison = { kind : scheme_kind; result : Engine.result }

@@ -88,6 +88,131 @@ let of_program ?(check_races = true) ?(line_words = 4) (program : Ast.program) =
     total_events = !total;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Packed structure-of-arrays form                                     *)
+(* ------------------------------------------------------------------ *)
+
+type ptask = {
+  p_iter : int;
+  off : int;  (** first slot of this task's events in the slabs *)
+  len : int;  (** number of slots *)
+  ticket0 : int;  (** first critical-section ticket of the task *)
+  n_locks : int;  (** tickets [ticket0 .. ticket0 + n_locks - 1] *)
+}
+
+type pepoch = { p_kind : epoch_kind; p_tasks : ptask array; p_n_tickets : int }
+
+type packed = {
+  ops : int array;  (** {!Hscd_arch.Event.Code} opcode per slot *)
+  addrs : int array;  (** address (or cycle count for compute slots) *)
+  values : int array;  (** golden value per read/write slot *)
+  marks : int array;  (** rmark/wmark code, interpreted per opcode *)
+  arrs : int array;  (** interned array id per read/write slot *)
+  p_epochs : pepoch array;
+  symtab : Hscd_util.Symtab.t;  (** array-name interning, {!Shape.layout} base order *)
+  rmark_table : Event.rmark array;  (** decode table indexed by mark code *)
+  p_layout : Shape.layout;
+  p_golden : int array;
+  p_total_events : int;  (** memory + sync events, as in {!t.total_events} *)
+  n_slots : int;  (** total slots incl. compute *)
+  p_max_tickets : int;  (** max tickets over all epochs (waiter-slot bound) *)
+}
+
+(** Seed a symtab with the trace's arrays in [Shape.layout] base order —
+    the canonical id assignment both replay paths share. *)
+let symtab_of_layout (layout : Shape.layout) =
+  Hscd_util.Symtab.of_names (List.map (fun (a : Shape.t) -> a.Shape.name) (Shape.arrays_in_order layout))
+
+(** Compile the boxed trace into the packed form: one pass to size the
+    slabs, one to fill them. Tickets are assigned in (rank, event) order
+    within each epoch — the order the engine grants critical sections. *)
+let pack (t : t) =
+  let symtab = symtab_of_layout t.layout in
+  let n_slots =
+    Array.fold_left
+      (fun acc e ->
+        Array.fold_left (fun acc (task : task) -> acc + Array.length task.events) acc e.tasks)
+      0 t.epochs
+  in
+  let cap = max 1 n_slots in
+  let ops = Array.make cap 0 in
+  let addrs = Array.make cap 0 in
+  let values = Array.make cap 0 in
+  let marks = Array.make cap 0 in
+  let arrs = Array.make cap 0 in
+  let pos = ref 0 in
+  let max_rcode = ref 0 in
+  let max_tickets = ref 0 in
+  let p_epochs =
+    Array.map
+      (fun (e : epoch) ->
+        let ticket = ref 0 in
+        let p_tasks =
+          Array.map
+            (fun (task : task) ->
+              let off = !pos in
+              let ticket0 = !ticket in
+              Array.iter
+                (fun ev ->
+                  let i = !pos in
+                  incr pos;
+                  match ev with
+                  | Event.Compute n ->
+                    ops.(i) <- Event.Code.compute;
+                    addrs.(i) <- n
+                  | Event.Read { addr; mark; value; array } ->
+                    ops.(i) <- Event.Code.read;
+                    addrs.(i) <- addr;
+                    values.(i) <- value;
+                    let c = Event.Code.of_rmark mark in
+                    if c > !max_rcode then max_rcode := c;
+                    marks.(i) <- c;
+                    arrs.(i) <- Hscd_util.Symtab.intern symtab array
+                  | Event.Write { addr; mark; value; array } ->
+                    ops.(i) <- Event.Code.write;
+                    addrs.(i) <- addr;
+                    values.(i) <- value;
+                    marks.(i) <- Event.Code.of_wmark mark;
+                    arrs.(i) <- Hscd_util.Symtab.intern symtab array
+                  | Event.Lock ->
+                    ops.(i) <- Event.Code.lock;
+                    incr ticket
+                  | Event.Unlock -> ops.(i) <- Event.Code.unlock)
+                task.events;
+              { p_iter = task.iter; off; len = Array.length task.events; ticket0;
+                n_locks = !ticket - ticket0 })
+            e.tasks
+        in
+        if !ticket > !max_tickets then max_tickets := !ticket;
+        { p_kind = e.kind; p_tasks; p_n_tickets = !ticket })
+      t.epochs
+  in
+  {
+    ops;
+    addrs;
+    values;
+    marks;
+    arrs;
+    p_epochs;
+    symtab;
+    rmark_table = Event.Code.rmark_table ~max_code:!max_rcode;
+    p_layout = t.layout;
+    p_golden = t.golden_memory;
+    p_total_events = t.total_events;
+    n_slots;
+    p_max_tickets = !max_tickets;
+  }
+
+let packed_memory_words (p : packed) = max 1 p.p_layout.Shape.total_words
+
+(** Live heap words of the packed slabs (five ints per slot plus task and
+    epoch descriptors) — the footprint EXPERIMENTS.md reports against the
+    boxed form's per-event blocks. *)
+let packed_slab_words (p : packed) =
+  let task_words = 8 (* 5 fields + header + ~2 amortized epoch overhead *) in
+  (5 * (p.n_slots + 1))
+  + Array.fold_left (fun acc e -> acc + (task_words * Array.length e.p_tasks)) 0 p.p_epochs
+
 let n_epochs t = Array.length t.epochs
 
 let n_parallel_epochs t =

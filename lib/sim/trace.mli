@@ -19,6 +19,52 @@ type t = {
     program. [line_words] must match the simulated machine's line size. *)
 val of_program : ?check_races:bool -> ?line_words:int -> Hscd_lang.Ast.program -> t
 
+(** Packed structure-of-arrays form — the engine's native input. Each
+    task's event stream lives in parallel unboxed [int array] slabs
+    (opcode, address, value, mark code, interned array id), built once at
+    trace-compile time; the replay hot path decodes events by index
+    without constructing a single variant. *)
+
+type ptask = {
+  p_iter : int;
+  off : int;  (** first slot of this task's events in the slabs *)
+  len : int;  (** number of slots *)
+  ticket0 : int;  (** first critical-section ticket of the task *)
+  n_locks : int;  (** tickets [ticket0 .. ticket0 + n_locks - 1] *)
+}
+
+type pepoch = { p_kind : epoch_kind; p_tasks : ptask array; p_n_tickets : int }
+
+type packed = {
+  ops : int array;  (** {!Hscd_arch.Event.Code} opcode per slot *)
+  addrs : int array;  (** address (or cycle count for compute slots) *)
+  values : int array;  (** golden value per read/write slot *)
+  marks : int array;  (** rmark/wmark code, interpreted per opcode *)
+  arrs : int array;  (** interned array id per read/write slot *)
+  p_epochs : pepoch array;
+  symtab : Hscd_util.Symtab.t;  (** array-name interning, layout base order *)
+  rmark_table : Hscd_arch.Event.rmark array;  (** decode table by mark code *)
+  p_layout : Hscd_lang.Shape.layout;
+  p_golden : int array;
+  p_total_events : int;  (** memory + sync events, as in {!t.total_events} *)
+  n_slots : int;  (** total slots incl. compute *)
+  p_max_tickets : int;  (** max tickets over all epochs *)
+}
+
+(** Symtab seeded with the layout's arrays in base order — the canonical
+    id assignment shared by the packed and boxed replay paths. *)
+val symtab_of_layout : Hscd_lang.Shape.layout -> Hscd_util.Symtab.t
+
+(** Compile the boxed trace into the packed form. *)
+val pack : t -> packed
+
+(** At least 1, for allocating scheme memory images. *)
+val packed_memory_words : packed -> int
+
+(** Approximate live heap words of the packed slabs, for footprint
+    reporting. *)
+val packed_slab_words : packed -> int
+
 val n_epochs : t -> int
 val n_parallel_epochs : t -> int
 

@@ -58,16 +58,26 @@ let push t ~key v =
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
 
-let pop t =
-  if t.size = 0 then None
+(* Allocation-free pop for the engine's per-event loop: the minimum
+   element's value, or -1 when empty (values are processor indices >= 0). *)
+let pop_min t =
+  if t.size = 0 then -1
   else begin
-    let key = t.keys.(0) and v = t.vals.(0) in
+    let v = t.vals.(0) in
     t.size <- t.size - 1;
     if t.size > 0 then begin
       t.keys.(0) <- t.keys.(t.size);
       t.vals.(0) <- t.vals.(t.size);
       sift_down t 0
     end;
+    v
+  end
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let key = t.keys.(0) in
+    let v = pop_min t in
     Some (key, v)
   end
 

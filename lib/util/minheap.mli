@@ -18,6 +18,10 @@ val push : t -> key:int -> int -> unit
 (** Smallest [(key, value)]; [None] when empty. *)
 val pop : t -> (int * int) option
 
+(** Value of the smallest pair, or [-1] when empty — the allocation-free
+    pop for hot loops whose values are non-negative (processor indices). *)
+val pop_min : t -> int
+
 val peek : t -> (int * int) option
 
 val clear : t -> unit

@@ -1,0 +1,48 @@
+(* Symbol interning: strings <-> dense ids, first-intern order. *)
+
+type t = {
+  by_name : (string, int) Hashtbl.t;
+  mutable by_id : string array;
+  mutable n : int;
+}
+
+let create ?(capacity = 16) () =
+  { by_name = Hashtbl.create (max 1 capacity); by_id = [||]; n = 0 }
+
+let length t = t.n
+
+let intern t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some i -> i
+  | None ->
+    let i = t.n in
+    if i >= Array.length t.by_id then begin
+      let cap = max 8 (2 * Array.length t.by_id) in
+      let fresh = Array.make cap "" in
+      Array.blit t.by_id 0 fresh 0 t.n;
+      t.by_id <- fresh
+    end;
+    t.by_id.(i) <- name;
+    t.n <- t.n + 1;
+    Hashtbl.replace t.by_name name i;
+    i
+
+let find_opt t name = Hashtbl.find_opt t.by_name name
+
+let mem t name = Hashtbl.mem t.by_name name
+
+let id t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Symtab: unknown symbol %s" name)
+
+let name t i =
+  if i < 0 || i >= t.n then invalid_arg (Printf.sprintf "Symtab: id %d out of [0,%d)" i t.n)
+  else t.by_id.(i)
+
+let of_names names =
+  let t = create ~capacity:(List.length names) () in
+  List.iter (fun n -> ignore (intern t n)) names;
+  t
+
+let names t = Array.sub t.by_id 0 t.n

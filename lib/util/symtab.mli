@@ -1,0 +1,35 @@
+(** Symbol interning: a bijection between strings and dense integer ids.
+
+    The packed trace representation stores array names as small ints so the
+    replay hot path never touches a string; ids are assigned in first-intern
+    order, densely from 0, so they index plain arrays (e.g. the VC scheme's
+    per-array version registers). *)
+
+type t
+
+(** Fresh empty table. [capacity] is a size hint. *)
+val create : ?capacity:int -> unit -> t
+
+(** Id of [name], interning it (next dense id) when unseen. *)
+val intern : t -> string -> int
+
+(** Id of an already-interned [name]; raises [Invalid_argument] when
+    unknown. *)
+val id : t -> string -> int
+
+val find_opt : t -> string -> int option
+
+val mem : t -> string -> bool
+
+(** Name of id [i]; raises [Invalid_argument] when out of range. *)
+val name : t -> int -> string
+
+(** Number of interned symbols (ids are [0 .. length - 1]). *)
+val length : t -> int
+
+(** Table pre-seeded with [names] in order (ids 0, 1, ...); duplicates
+    collapse to the first occurrence. *)
+val of_names : string list -> t
+
+(** All names in id order. *)
+val names : t -> string array

@@ -80,45 +80,45 @@ let qcheck_memstate_vs_reference =
 let test_tpi_basic_reuse () =
   let tpi, _ = make_tpi () in
   (* proc 0 writes a word in epoch 0 *)
-  ignore (Tpi.write tpi ~proc:0 ~addr:5 ~array:"m" ~value:7 ~mark:Event.Normal_write);
+  ignore (Tpi.write tpi ~proc:0 ~addr:5 ~array:0 ~value:7 ~mark:Event.Normal_write);
   (* same epoch, Time-Read(0) hits own write *)
-  let r = Tpi.read tpi ~proc:0 ~addr:5 ~array:"m" ~mark:(Event.Time_read 0) in
+  let r = Tpi.read tpi ~proc:0 ~addr:5 ~array:0 ~mark:(Event.Time_read 0) in
   Alcotest.check cls "own write hit" Scheme.Hit r.cls;
   Alcotest.(check int) "value" 7 r.value;
   (* next epoch, Time-Read(0) is too strict, Time-Read(1) hits *)
   ignore (Tpi.epoch_boundary tpi);
   Alcotest.check cls "d=0 misses" Scheme.Conservative
-    (Tpi.read tpi ~proc:0 ~addr:5 ~array:"m" ~mark:(Event.Time_read 0)).cls;
+    (Tpi.read tpi ~proc:0 ~addr:5 ~array:0 ~mark:(Event.Time_read 0)).cls;
   Alcotest.check cls "d=1 hits (refetched word is fresh)" Scheme.Hit
-    (Tpi.read tpi ~proc:0 ~addr:5 ~array:"m" ~mark:(Event.Time_read 1)).cls
+    (Tpi.read tpi ~proc:0 ~addr:5 ~array:0 ~mark:(Event.Time_read 1)).cls
 
 let test_tpi_line_fill_tag_rule () =
   let tpi, _ = make_tpi () in
   (* miss on word 4 fetches the whole line; companion words get epoch-1 *)
   ignore (Tpi.epoch_boundary tpi) (* epoch = 1 so epoch-1 = 0 is valid *);
-  ignore (Tpi.read tpi ~proc:0 ~addr:4 ~array:"m" ~mark:Event.Normal_read);
+  ignore (Tpi.read tpi ~proc:0 ~addr:4 ~array:0 ~mark:Event.Normal_read);
   (* companion word: Time-Read(0) must MISS (tag = epoch-1) *)
   Alcotest.check cls "companion too old for d=0" Scheme.Conservative
-    (Tpi.read tpi ~proc:0 ~addr:5 ~array:"m" ~mark:(Event.Time_read 0)).cls;
+    (Tpi.read tpi ~proc:0 ~addr:5 ~array:0 ~mark:(Event.Time_read 0)).cls;
   (* but Normal read hits it *)
   Alcotest.check cls "companion normal hit" Scheme.Hit
-    (Tpi.read tpi ~proc:0 ~addr:6 ~array:"m" ~mark:Event.Normal_read).cls
+    (Tpi.read tpi ~proc:0 ~addr:6 ~array:0 ~mark:Event.Normal_read).cls
 
 let test_tpi_staleness_detected () =
   let tpi, _ = make_tpi () in
-  ignore (Tpi.read tpi ~proc:0 ~addr:8 ~array:"m" ~mark:Event.Normal_read);
+  ignore (Tpi.read tpi ~proc:0 ~addr:8 ~array:0 ~mark:Event.Normal_read);
   ignore (Tpi.epoch_boundary tpi);
   (* proc 1 writes the word in the next epoch *)
-  ignore (Tpi.write tpi ~proc:1 ~addr:8 ~array:"m" ~value:99 ~mark:Event.Normal_write);
+  ignore (Tpi.write tpi ~proc:1 ~addr:8 ~array:0 ~value:99 ~mark:Event.Normal_write);
   ignore (Tpi.epoch_boundary tpi);
   (* proc 0's copy is stale; Time-Read(1) rejects it and fetches fresh *)
-  let r = Tpi.read tpi ~proc:0 ~addr:8 ~array:"m" ~mark:(Event.Time_read 1) in
+  let r = Tpi.read tpi ~proc:0 ~addr:8 ~array:0 ~mark:(Event.Time_read 1) in
   Alcotest.check cls "true sharing" Scheme.True_sharing r.cls;
   Alcotest.(check int) "fresh value" 99 r.value
 
 let test_tpi_two_phase_reset () =
   let tpi, _ = make_tpi () in
-  ignore (Tpi.write tpi ~proc:0 ~addr:12 ~array:"m" ~value:1 ~mark:Event.Normal_write);
+  ignore (Tpi.write tpi ~proc:0 ~addr:12 ~array:0 ~value:1 ~mark:Event.Normal_write);
   (* phase = 4 epochs for 3-bit tags: after 4 boundaries a reset fires *)
   let stalled = ref 0 in
   for _ = 1 to 4 do
@@ -128,23 +128,23 @@ let test_tpi_two_phase_reset () =
   Alcotest.(check int) "reset stall charged" cfg.two_phase_reset_cycles !stalled;
   Alcotest.(check int) "one reset" 1 (Tpi.stats tpi).two_phase_resets;
   (* the word was invalidated by the reset: even Normal misses *)
-  let r = Tpi.read tpi ~proc:0 ~addr:12 ~array:"m" ~mark:Event.Normal_read in
+  let r = Tpi.read tpi ~proc:0 ~addr:12 ~array:0 ~mark:Event.Normal_read in
   Alcotest.check cls "reset miss" Scheme.Reset_inv r.cls
 
 let test_tpi_bypass_read_uncached () =
   let tpi, traffic = make_tpi () in
-  let r = Tpi.read tpi ~proc:2 ~addr:30 ~array:"m" ~mark:Event.Bypass_read in
+  let r = Tpi.read tpi ~proc:2 ~addr:30 ~array:0 ~mark:Event.Bypass_read in
   Alcotest.check cls "uncached" Scheme.Uncached r.cls;
   Alcotest.(check int) "one word of read traffic" 1 (Traffic.snapshot traffic).Traffic.reads;
   (* nothing was allocated *)
-  let r2 = Tpi.read tpi ~proc:2 ~addr:30 ~array:"m" ~mark:Event.Normal_read in
+  let r2 = Tpi.read tpi ~proc:2 ~addr:30 ~array:0 ~mark:Event.Normal_read in
   Alcotest.check cls "still cold" Scheme.Cold r2.cls
 
 let test_tpi_bypass_write_updates_copy () =
   let tpi, _ = make_tpi () in
-  ignore (Tpi.read tpi ~proc:0 ~addr:16 ~array:"m" ~mark:Event.Normal_read);
-  ignore (Tpi.write tpi ~proc:0 ~addr:16 ~array:"m" ~value:5 ~mark:Event.Bypass_write);
-  let r = Tpi.read tpi ~proc:0 ~addr:16 ~array:"m" ~mark:(Event.Time_read 0) in
+  ignore (Tpi.read tpi ~proc:0 ~addr:16 ~array:0 ~mark:Event.Normal_read);
+  ignore (Tpi.write tpi ~proc:0 ~addr:16 ~array:0 ~value:5 ~mark:Event.Bypass_write);
+  let r = Tpi.read tpi ~proc:0 ~addr:16 ~array:0 ~mark:(Event.Time_read 0) in
   Alcotest.check cls "own copy updated" Scheme.Hit r.cls;
   Alcotest.(check int) "new value" 5 r.value
 
@@ -152,80 +152,80 @@ let test_tpi_replacement_class () =
   let small = { cfg with cache_bytes = 64 } (* 4 lines *) in
   let net = Kruskal_snir.create small and traffic = Traffic.create small in
   let tpi = Tpi.create small ~memory_words:256 ~network:net ~traffic in
-  ignore (Tpi.read tpi ~proc:0 ~addr:0 ~array:"m" ~mark:Event.Normal_read);
+  ignore (Tpi.read tpi ~proc:0 ~addr:0 ~array:0 ~mark:Event.Normal_read);
   (* conflicting line (same set, 4 sets) evicts line 0 *)
-  ignore (Tpi.read tpi ~proc:0 ~addr:16 ~array:"m" ~mark:Event.Normal_read);
-  let r = Tpi.read tpi ~proc:0 ~addr:0 ~array:"m" ~mark:Event.Normal_read in
+  ignore (Tpi.read tpi ~proc:0 ~addr:16 ~array:0 ~mark:Event.Normal_read);
+  let r = Tpi.read tpi ~proc:0 ~addr:0 ~array:0 ~mark:Event.Normal_read in
   Alcotest.check cls "replacement" Scheme.Replacement r.cls
 
 (* --- SC --- *)
 
 let test_sc_time_read_always_fetches () =
   let sc, _ = make_sc () in
-  ignore (Sc.read sc ~proc:0 ~addr:5 ~array:"m" ~mark:(Event.Time_read 3));
+  ignore (Sc.read sc ~proc:0 ~addr:5 ~array:0 ~mark:(Event.Time_read 3));
   (* second time: still a miss (no timetags to check), and it is classed
      conservative because the data was never foreign-written *)
-  let r = Sc.read sc ~proc:0 ~addr:5 ~array:"m" ~mark:(Event.Time_read 3) in
+  let r = Sc.read sc ~proc:0 ~addr:5 ~array:0 ~mark:(Event.Time_read 3) in
   Alcotest.check cls "forced fetch" Scheme.Conservative r.cls;
   (* Normal reads enjoy the refreshed line *)
-  Alcotest.check cls "normal hit" Scheme.Hit (Sc.read sc ~proc:0 ~addr:6 ~array:"m" ~mark:Event.Normal_read).cls
+  Alcotest.check cls "normal hit" Scheme.Hit (Sc.read sc ~proc:0 ~addr:6 ~array:0 ~mark:Event.Normal_read).cls
 
 let test_sc_epoch_boundary_noop () =
   let sc, _ = make_sc () in
-  ignore (Sc.read sc ~proc:0 ~addr:5 ~array:"m" ~mark:Event.Normal_read);
+  ignore (Sc.read sc ~proc:0 ~addr:5 ~array:0 ~mark:Event.Normal_read);
   ignore (Sc.epoch_boundary sc);
   Alcotest.check cls "survives boundary" Scheme.Hit
-    (Sc.read sc ~proc:0 ~addr:5 ~array:"m" ~mark:Event.Normal_read).cls
+    (Sc.read sc ~proc:0 ~addr:5 ~array:0 ~mark:Event.Normal_read).cls
 
 (* --- HW --- *)
 
 let test_hw_read_write_transitions () =
   let hw, _ = make_hw () in
   (* cold read -> S *)
-  Alcotest.check cls "cold" Scheme.Cold (Hwdir.read hw ~proc:0 ~addr:5 ~array:"m" ~mark:Event.Unmarked).cls;
-  Alcotest.check cls "hit in S" Scheme.Hit (Hwdir.read hw ~proc:0 ~addr:5 ~array:"m" ~mark:Event.Unmarked).cls;
+  Alcotest.check cls "cold" Scheme.Cold (Hwdir.read hw ~proc:0 ~addr:5 ~array:0 ~mark:Event.Unmarked).cls;
+  Alcotest.check cls "hit in S" Scheme.Hit (Hwdir.read hw ~proc:0 ~addr:5 ~array:0 ~mark:Event.Unmarked).cls;
   (* upgrade S -> M on write *)
   Alcotest.check cls "upgrade hit" Scheme.Hit
-    (Hwdir.write hw ~proc:0 ~addr:5 ~array:"m" ~value:1 ~mark:Event.Normal_write).cls;
+    (Hwdir.write hw ~proc:0 ~addr:5 ~array:0 ~value:1 ~mark:Event.Normal_write).cls;
   Alcotest.(check int) "one upgrade" 1 (Hwdir.stats hw).upgrades;
   Alcotest.check cls "hit in M" Scheme.Hit
-    (Hwdir.write hw ~proc:0 ~addr:5 ~array:"m" ~value:2 ~mark:Event.Normal_write).cls
+    (Hwdir.write hw ~proc:0 ~addr:5 ~array:0 ~value:2 ~mark:Event.Normal_write).cls
 
 let test_hw_invalidation_true_sharing () =
   let hw, _ = make_hw () in
-  ignore (Hwdir.read hw ~proc:0 ~addr:5 ~array:"m" ~mark:Event.Unmarked) (* proc 0 uses word 5 *);
-  ignore (Hwdir.write hw ~proc:1 ~addr:5 ~array:"m" ~value:9 ~mark:Event.Normal_write);
+  ignore (Hwdir.read hw ~proc:0 ~addr:5 ~array:0 ~mark:Event.Unmarked) (* proc 0 uses word 5 *);
+  ignore (Hwdir.write hw ~proc:1 ~addr:5 ~array:0 ~value:9 ~mark:Event.Normal_write);
   Alcotest.(check int) "invalidation sent" 1 (Hwdir.stats hw).invalidations_sent;
-  let r = Hwdir.read hw ~proc:0 ~addr:5 ~array:"m" ~mark:Event.Unmarked in
+  let r = Hwdir.read hw ~proc:0 ~addr:5 ~array:0 ~mark:Event.Unmarked in
   Alcotest.check cls "true sharing miss" Scheme.True_sharing r.cls;
   Alcotest.(check int) "sees new value" 9 r.value
 
 let test_hw_false_sharing () =
   let hw, _ = make_hw () in
-  ignore (Hwdir.read hw ~proc:0 ~addr:4 ~array:"m" ~mark:Event.Unmarked) (* proc 0 uses word 4 only *);
+  ignore (Hwdir.read hw ~proc:0 ~addr:4 ~array:0 ~mark:Event.Unmarked) (* proc 0 uses word 4 only *);
   (* proc 1 writes a DIFFERENT word of the same line *)
-  ignore (Hwdir.write hw ~proc:1 ~addr:5 ~array:"m" ~value:9 ~mark:Event.Normal_write);
-  let r = Hwdir.read hw ~proc:0 ~addr:4 ~array:"m" ~mark:Event.Unmarked in
+  ignore (Hwdir.write hw ~proc:1 ~addr:5 ~array:0 ~value:9 ~mark:Event.Normal_write);
+  let r = Hwdir.read hw ~proc:0 ~addr:4 ~array:0 ~mark:Event.Unmarked in
   Alcotest.check cls "false sharing miss" Scheme.False_sharing r.cls
 
 let test_hw_dirty_recall () =
   let hw, traffic = make_hw () in
-  ignore (Hwdir.write hw ~proc:0 ~addr:8 ~array:"m" ~value:3 ~mark:Event.Normal_write) (* M at proc 0 *);
+  ignore (Hwdir.write hw ~proc:0 ~addr:8 ~array:0 ~value:3 ~mark:Event.Normal_write) (* M at proc 0 *);
   let before = (Traffic.snapshot traffic).Traffic.writes in
-  let r = Hwdir.read hw ~proc:1 ~addr:8 ~array:"m" ~mark:Event.Unmarked in
+  let r = Hwdir.read hw ~proc:1 ~addr:8 ~array:0 ~mark:Event.Unmarked in
   Alcotest.(check int) "recall happened" 1 (Hwdir.stats hw).dirty_recalls;
   Alcotest.(check bool) "owner wrote back" true ((Traffic.snapshot traffic).Traffic.writes > before);
   Alcotest.(check int) "forwarded value" 3 r.value;
   (* the line is now shared by both; proc 0 still hits *)
   Alcotest.check cls "owner downgraded to S" Scheme.Hit
-    (Hwdir.read hw ~proc:0 ~addr:8 ~array:"m" ~mark:Event.Unmarked).cls
+    (Hwdir.read hw ~proc:0 ~addr:8 ~array:0 ~mark:Event.Unmarked).cls
 
 let test_hw_writeback_on_eviction () =
   let small = { cfg with cache_bytes = 64 } in
   let net = Kruskal_snir.create small and traffic = Traffic.create small in
   let hw = Hwdir.create small ~memory_words:256 ~network:net ~traffic in
-  ignore (Hwdir.write hw ~proc:0 ~addr:0 ~array:"m" ~value:1 ~mark:Event.Normal_write);
-  ignore (Hwdir.read hw ~proc:0 ~addr:16 ~array:"m" ~mark:Event.Unmarked) (* conflicts, evicts dirty line *);
+  ignore (Hwdir.write hw ~proc:0 ~addr:0 ~array:0 ~value:1 ~mark:Event.Normal_write);
+  ignore (Hwdir.read hw ~proc:0 ~addr:16 ~array:0 ~mark:Event.Unmarked) (* conflicts, evicts dirty line *);
   Alcotest.(check int) "writeback counted" 1 (Hwdir.stats hw).writebacks
 
 (* --- BASE and LimitLESS --- *)
@@ -233,8 +233,8 @@ let test_hw_writeback_on_eviction () =
 let test_base_always_remote () =
   let net = Kruskal_snir.create cfg and traffic = Traffic.create cfg in
   let b = Base.create cfg ~memory_words:64 ~network:net ~traffic in
-  ignore (Base.write b ~proc:0 ~addr:3 ~array:"m" ~value:4 ~mark:Event.Normal_write);
-  let r = Base.read b ~proc:1 ~addr:3 ~array:"m" ~mark:Event.Unmarked in
+  ignore (Base.write b ~proc:0 ~addr:3 ~array:0 ~value:4 ~mark:Event.Normal_write);
+  let r = Base.read b ~proc:1 ~addr:3 ~array:0 ~mark:Event.Unmarked in
   Alcotest.check cls "uncached" Scheme.Uncached r.cls;
   Alcotest.(check int) "value through memory" 4 r.value;
   Alcotest.(check bool) "latency is remote" true (r.latency >= cfg.miss_base_cycles)
@@ -243,7 +243,7 @@ let test_limitless_trap_latency () =
   let net = Kruskal_snir.create cfg and traffic = Traffic.create cfg in
   let l = Limitless.create cfg ~memory_words:64 ~network:net ~traffic in
   (* fewer sharers than pointers: same as HW *)
-  let r = Limitless.read l ~proc:0 ~addr:4 ~array:"m" ~mark:Event.Unmarked in
+  let r = Limitless.read l ~proc:0 ~addr:4 ~array:0 ~mark:Event.Unmarked in
   Alcotest.check cls "cold" Scheme.Cold r.cls
 
 (* --- overhead --- *)

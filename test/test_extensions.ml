@@ -28,61 +28,61 @@ let make_inv () =
 let test_vc_version_hit_and_miss () =
   let vc = make_vc () in
   (* fetch a word of array "x" at version 0 *)
-  ignore (Vc.read vc ~proc:0 ~addr:4 ~array:"x" ~mark:(Event.Time_read 5));
+  ignore (Vc.read vc ~proc:0 ~addr:4 ~array:0 ~mark:(Event.Time_read 5));
   (* still current: flagged read hits *)
   Alcotest.check cls "current version hits" Scheme.Hit
-    (Vc.read vc ~proc:0 ~addr:4 ~array:"x" ~mark:(Event.Time_read 5)).cls;
+    (Vc.read vc ~proc:0 ~addr:4 ~array:0 ~mark:(Event.Time_read 5)).cls;
   (* another processor writes a DIFFERENT word of the same array *)
-  ignore (Vc.write vc ~proc:1 ~addr:100 ~array:"x" ~value:1 ~mark:Event.Normal_write);
+  ignore (Vc.write vc ~proc:1 ~addr:100 ~array:0 ~value:1 ~mark:Event.Normal_write);
   ignore (Vc.epoch_boundary vc);
   (* array version bumped: the flagged read misses even though word 4 was
      never written — VC's variable-granularity conservatism *)
   Alcotest.check cls "stale version misses" Scheme.Conservative
-    (Vc.read vc ~proc:0 ~addr:4 ~array:"x" ~mark:(Event.Time_read 5)).cls
+    (Vc.read vc ~proc:0 ~addr:4 ~array:0 ~mark:(Event.Time_read 5)).cls
 
 let test_vc_other_array_untouched () =
   let vc = make_vc () in
-  ignore (Vc.read vc ~proc:0 ~addr:4 ~array:"x" ~mark:(Event.Time_read 5));
-  ignore (Vc.write vc ~proc:1 ~addr:100 ~array:"y" ~value:1 ~mark:Event.Normal_write);
+  ignore (Vc.read vc ~proc:0 ~addr:4 ~array:0 ~mark:(Event.Time_read 5));
+  ignore (Vc.write vc ~proc:1 ~addr:100 ~array:1 ~value:1 ~mark:Event.Normal_write);
   ignore (Vc.epoch_boundary vc);
   (* y's version bump does not disturb x *)
   Alcotest.check cls "per-array versions" Scheme.Hit
-    (Vc.read vc ~proc:0 ~addr:4 ~array:"x" ~mark:(Event.Time_read 5)).cls
+    (Vc.read vc ~proc:0 ~addr:4 ~array:0 ~mark:(Event.Time_read 5)).cls
 
 let test_vc_own_write_is_current () =
   let vc = make_vc () in
-  ignore (Vc.write vc ~proc:0 ~addr:8 ~array:"x" ~value:9 ~mark:Event.Normal_write);
+  ignore (Vc.write vc ~proc:0 ~addr:8 ~array:0 ~value:9 ~mark:Event.Normal_write);
   ignore (Vc.epoch_boundary vc);
-  let r = Vc.read vc ~proc:0 ~addr:8 ~array:"x" ~mark:(Event.Time_read 0) in
+  let r = Vc.read vc ~proc:0 ~addr:8 ~array:0 ~mark:(Event.Time_read 0) in
   Alcotest.check cls "writer keeps its copy" Scheme.Hit r.cls;
   Alcotest.(check int) "value" 9 r.value
 
 let test_vc_normal_reads_unaffected () =
   let vc = make_vc () in
-  ignore (Vc.read vc ~proc:0 ~addr:4 ~array:"x" ~mark:Event.Normal_read);
-  ignore (Vc.write vc ~proc:1 ~addr:100 ~array:"x" ~value:1 ~mark:Event.Normal_write);
+  ignore (Vc.read vc ~proc:0 ~addr:4 ~array:0 ~mark:Event.Normal_read);
+  ignore (Vc.write vc ~proc:1 ~addr:100 ~array:0 ~value:1 ~mark:Event.Normal_write);
   ignore (Vc.epoch_boundary vc);
   Alcotest.check cls "Normal survives version bump" Scheme.Hit
-    (Vc.read vc ~proc:0 ~addr:4 ~array:"x" ~mark:Event.Normal_read).cls
+    (Vc.read vc ~proc:0 ~addr:4 ~array:0 ~mark:Event.Normal_read).cls
 
 (* --- INV semantics --- *)
 
 let test_inv_epoch_invalidation () =
   let inv = make_inv () in
-  ignore (Inv.read inv ~proc:0 ~addr:4 ~array:"x" ~mark:Event.Normal_read);
+  ignore (Inv.read inv ~proc:0 ~addr:4 ~array:0 ~mark:Event.Normal_read);
   Alcotest.check cls "within epoch" Scheme.Hit
-    (Inv.read inv ~proc:0 ~addr:4 ~array:"x" ~mark:Event.Normal_read).cls;
+    (Inv.read inv ~proc:0 ~addr:4 ~array:0 ~mark:Event.Normal_read).cls;
   ignore (Inv.epoch_boundary inv);
   Alcotest.check cls "boundary wipes the cache" Scheme.Conservative
-    (Inv.read inv ~proc:0 ~addr:4 ~array:"x" ~mark:Event.Normal_read).cls
+    (Inv.read inv ~proc:0 ~addr:4 ~array:0 ~mark:Event.Normal_read).cls
 
 let test_inv_ignores_distance () =
   let inv = make_inv () in
-  ignore (Inv.read inv ~proc:0 ~addr:4 ~array:"x" ~mark:(Event.Time_read 3));
+  ignore (Inv.read inv ~proc:0 ~addr:4 ~array:0 ~mark:(Event.Time_read 3));
   (* within the same epoch even a flagged read hits: the region was fetched
      after the last boundary *)
   Alcotest.check cls "flagged read hits within epoch" Scheme.Hit
-    (Inv.read inv ~proc:0 ~addr:4 ~array:"x" ~mark:(Event.Time_read 3)).cls
+    (Inv.read inv ~proc:0 ~addr:4 ~array:0 ~mark:(Event.Time_read 3)).cls
 
 (* --- end-to-end coherence of the new schemes --- *)
 

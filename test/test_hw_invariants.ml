@@ -45,9 +45,9 @@ let run_ops ops =
   let hw = Hwdir.create cfg ~memory_words ~network:net ~traffic in
   List.iter
     (function
-      | R (proc, addr) -> ignore (Hwdir.read hw ~proc ~addr ~array:"m" ~mark:Event.Unmarked)
+      | R (proc, addr) -> ignore (Hwdir.read hw ~proc ~addr ~array:0 ~mark:Event.Unmarked)
       | W (proc, addr, v) ->
-        ignore (Hwdir.write hw ~proc ~addr ~array:"m" ~value:v ~mark:Event.Normal_write))
+        ignore (Hwdir.write hw ~proc ~addr ~array:0 ~value:v ~mark:Event.Normal_write))
     ops;
   hw
 
@@ -106,10 +106,10 @@ let qcheck_reads_return_last_write =
         (function
           | W (proc, addr, v) ->
             shadow.(addr) <- v;
-            ignore (Hwdir.write hw ~proc ~addr ~array:"m" ~value:v ~mark:Event.Normal_write);
+            ignore (Hwdir.write hw ~proc ~addr ~array:0 ~value:v ~mark:Event.Normal_write);
             true
           | R (proc, addr) ->
-            (Hwdir.read hw ~proc ~addr ~array:"m" ~mark:Event.Unmarked).Hscd_coherence.Scheme.value
+            (Hwdir.read hw ~proc ~addr ~array:0 ~mark:Event.Unmarked).Hscd_coherence.Scheme.value
             = shadow.(addr))
         ops)
 
@@ -123,12 +123,12 @@ let test_tpi_timetag_wrap_reset () =
   let net = Kruskal_snir.create cfg and traffic = Traffic.create cfg in
   let tpi = Tpi.create cfg ~memory_words ~network:net ~traffic in
   (* epoch 0: proc 0 caches addr 0 (fill stamps tag 0) *)
-  let r0 = Tpi.read tpi ~proc:0 ~addr:0 ~array:"m" ~mark:(Event.Time_read 0) in
+  let r0 = Tpi.read tpi ~proc:0 ~addr:0 ~array:0 ~mark:(Event.Time_read 0) in
   Alcotest.(check bool) "initial fill misses" true (r0.Scheme.cls <> Scheme.Hit);
   (* pre-wrap control: two epochs later the copy is still a Time-Read hit *)
   ignore (Tpi.epoch_boundary tpi);
   ignore (Tpi.epoch_boundary tpi);
-  let pre = Tpi.read tpi ~proc:0 ~addr:0 ~array:"m" ~mark:(Event.Time_read 2) in
+  let pre = Tpi.read tpi ~proc:0 ~addr:0 ~array:0 ~mark:(Event.Time_read 2) in
   Alcotest.(check bool) "age-2 word hits inside a wide window" true
     (pre.Scheme.cls = Scheme.Hit);
   (* six more boundaries reach epoch 8 = one full phase: the reset wipes
@@ -137,7 +137,7 @@ let test_tpi_timetag_wrap_reset () =
   for _ = 1 to 6 do
     ignore (Tpi.epoch_boundary tpi)
   done;
-  let post = Tpi.read tpi ~proc:0 ~addr:0 ~array:"m" ~mark:(Event.Time_read 8) in
+  let post = Tpi.read tpi ~proc:0 ~addr:0 ~array:0 ~mark:(Event.Time_read 8) in
   Alcotest.(check bool) "wrapped word does not hit" true (post.Scheme.cls <> Scheme.Hit);
   Alcotest.(check bool)
     (Printf.sprintf "classified Reset_inv (got %s)" (Scheme.class_name post.Scheme.cls))

@@ -17,6 +17,7 @@ let () =
       ("stats-report", Test_stats_report.suite);
       ("hw-invariants", Test_hw_invariants.suite);
       ("trace-io", Test_trace_io.suite);
+      ("packed", Test_packed.suite);
       ("fuzz", Test_fuzz.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("workloads", Test_workloads.suite);

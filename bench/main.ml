@@ -41,7 +41,7 @@ let compiled_stencil = lazy (Hscd_sim.Run.compile small_stencil)
 let staged_simulate kind =
   Staged.stage (fun () ->
       let c = Lazy.force compiled_stencil in
-      ignore (Hscd_sim.Run.simulate kind c.Hscd_sim.Run.trace))
+      ignore (Hscd_sim.Run.simulate_packed kind c.Hscd_sim.Run.packed_trace))
 
 let micro_tests =
   [
@@ -107,9 +107,9 @@ let micro_tests =
            for _ = 0 to 99 do
              ignore (Hscd_compiler.Sections.inter_nonempty a b)
            done));
-    (* scheduling: trace generation (interpreter throughput) *)
+    (* scheduling: trace generation (interpreter + streaming builder) *)
     Test.make ~name:"scheduling/trace_generation_jacobi64"
-      (Staged.stage (fun () -> ignore (Hscd_sim.Trace.of_program small_stencil)));
+      (Staged.stage (fun () -> ignore (Hscd_sim.Trace.of_program_packed small_stencil)));
     (* fuzz: differential-oracle throughput — one fixed generated trace
        through all four schemes plus monitors (the fuzzing hot path) *)
     Test.make ~name:"fuzz/differential_oracle"

@@ -59,8 +59,9 @@ let measure ?(processors = 64) ?(n = 4096) ?(iters = 4) ?(reps = 3)
     ?(schemes = [ Run.Base; Run.TPI ]) () =
   let cfg = Config.validate { Config.default with processors } in
   let prog = Hscd_workloads.Kernels.jacobi1d ~n ~iters () in
-  let c = Run.compile ~cfg prog in
+  let c = Run.compile ~cfg ~cache:false prog in
   let p = c.Run.packed_trace in
+  let boxed = Run.boxed_trace c in
   let events = p.Trace.n_slots in
   let row kind =
     (* warm up, then average a fixed number of fresh replays *)
@@ -73,11 +74,11 @@ let measure ?(processors = 64) ?(n = 4096) ?(iters = 4) ?(reps = 3)
       packed_dt := !packed_dt +. dt;
       packed_words := !packed_words +. w
     done;
-    ignore (replay_boxed ~cfg kind c.Run.trace);
+    ignore (replay_boxed ~cfg kind boxed);
     let boxed_dt = ref 0.0 in
     let r_boxed = ref None in
     for _ = 1 to reps do
-      let r, dt, _ = replay_boxed ~cfg kind c.Run.trace in
+      let r, dt, _ = replay_boxed ~cfg kind boxed in
       r_boxed := Some r;
       boxed_dt := !boxed_dt +. dt
     done;
@@ -134,6 +135,136 @@ let report_to_json (r : report) =
   Buffer.contents b
 
 let engine_throughput () = print_report (measure ())
+
+(* --- compile side: trace generation throughput --- *)
+
+(* tracegen/events_per_sec: same marked jacobi program generated twice —
+   streamed straight into the packed slabs (the production path) vs the
+   legacy boxed generation followed by [Trace.pack]. The two packed
+   results are compared structurally and by TPI replay, bit for bit. *)
+type compile_row = {
+  gen_events : int;  (** slots generated per run (incl. compute) *)
+  gen_stream_eps : float;  (** events/sec, streaming builder *)
+  gen_boxed_eps : float;  (** events/sec, boxed generation + pack *)
+  gen_speedup : float;  (** streaming over boxed+pack *)
+  gen_stream_words_per_event : float;  (** minor-heap words/slot, streaming *)
+  gen_boxed_words_per_event : float;  (** minor-heap words/slot, boxed+pack *)
+  gen_identical : bool;  (** equal_packed && identical TPI replay *)
+}
+
+let measure_compile ?(processors = 64) ?(n = 4096) ?(iters = 4) ?(reps = 3) () =
+  let cfg = Config.validate { Config.default with processors } in
+  let prog = Hscd_workloads.Kernels.jacobi1d ~n ~iters () in
+  let checked = Hscd_lang.Sema.check_exn prog in
+  let m =
+    Hscd_compiler.Marking.mark_program
+      ~static_sched:(Hscd_sim.Schedule.is_static cfg)
+      ~intertask:true checked
+  in
+  let marked = m.Hscd_compiler.Marking.program in
+  let timed f =
+    let w0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    (r, dt, Gc.minor_words () -. w0)
+  in
+  let stream () = Trace.of_program_packed ~line_words:cfg.line_words marked in
+  let boxed () = Trace.pack (Trace.of_program ~line_words:cfg.line_words marked) in
+  (* Generation times are dominated by where the major-GC cycle happens to
+     land, which depends on everything that ran earlier in the process (a
+     4x swing either way is reproducible). So: interleave the two paths,
+     compact before every timed run to restart the cycle from the same
+     state, and score each path by its best rep — the one the collector
+     disturbed least. Allocation counts are deterministic, times are not. *)
+  ignore (stream ());
+  ignore (boxed ());
+  let sdt = ref infinity and swords = ref 0.0 and p_stream = ref None in
+  let bdt = ref infinity and bwords = ref 0.0 and p_boxed = ref None in
+  for _ = 1 to reps do
+    Gc.compact ();
+    let p, dt, w = timed stream in
+    p_stream := Some p;
+    if dt < !sdt then sdt := dt;
+    swords := w;
+    Gc.compact ();
+    let p, dt, w = timed boxed in
+    p_boxed := Some p;
+    if dt < !bdt then bdt := dt;
+    bwords := w
+  done;
+  let ps = Option.get !p_stream and pb = Option.get !p_boxed in
+  let identical =
+    Hscd_sim.Trace_io.equal_packed ps pb
+    && Run.simulate_packed ~cfg Run.TPI ps = Run.simulate_packed ~cfg Run.TPI pb
+  in
+  let events = ps.Trace.n_slots in
+  let fev = float_of_int events in
+  let stream_eps = fev /. !sdt in
+  let boxed_eps = fev /. !bdt in
+  {
+    gen_events = events;
+    gen_stream_eps = stream_eps;
+    gen_boxed_eps = boxed_eps;
+    gen_speedup = stream_eps /. boxed_eps;
+    gen_stream_words_per_event = !swords /. fev;
+    gen_boxed_words_per_event = !bwords /. fev;
+    gen_identical = identical;
+  }
+
+let print_compile_row (r : compile_row) =
+  Printf.printf "  tracegen/events_per_sec (streaming)        %12.0f ev/s (%d events)\n"
+    r.gen_stream_eps r.gen_events;
+  Printf.printf "  tracegen/events_per_sec (boxed+pack)       %12.0f ev/s (speedup %.2fx, %s)\n"
+    r.gen_boxed_eps r.gen_speedup
+    (if r.gen_identical then "bit-identical" else "DIVERGED");
+  Printf.printf "  tracegen/gc_minor_words_per_event (stream) %12.2f words\n"
+    r.gen_stream_words_per_event;
+  Printf.printf "  tracegen/gc_minor_words_per_event (boxed)  %12.2f words\n%!"
+    r.gen_boxed_words_per_event
+
+let compile_row_to_json (r : compile_row) =
+  Printf.sprintf
+    "{\"events\": %d, \"events_per_sec_streaming\": %.0f, \"events_per_sec_boxed_pack\": %.0f, \
+     \"speedup\": %.3f, \"gc_minor_words_per_event_streaming\": %.3f, \
+     \"gc_minor_words_per_event_boxed_pack\": %.3f, \"bit_identical\": %b}"
+    r.gen_events r.gen_stream_eps r.gen_boxed_eps r.gen_speedup r.gen_stream_words_per_event
+    r.gen_boxed_words_per_event r.gen_identical
+
+(* --- compile cache: a sweep over a timing-side knob must generate each
+   model's trace exactly once --- *)
+
+type cache_row = {
+  cache_generations : int;  (** traces generated across the two sweep points *)
+  cache_hits : int;  (** in-memory hits across the second point *)
+  cache_ok : bool;  (** second point generated zero new traces *)
+}
+
+let measure_cache () =
+  let module Common = Hscd_experiments.Common in
+  Run.reset_compile_cache ();
+  let cfg1 = { Config.default with timetag_bits = 8 } in
+  let cfg2 = { Config.default with timetag_bits = 4 } in
+  ignore (Common.run_all ~cfg:cfg1 ~schemes:[ Run.TPI ] ~small:true ());
+  let g1 = (Run.compile_cache_stats ()).Run.trace_generations in
+  ignore (Common.run_all ~cfg:cfg2 ~schemes:[ Run.TPI ] ~small:true ());
+  let s = Run.compile_cache_stats () in
+  {
+    cache_generations = s.Run.trace_generations;
+    cache_hits = s.Run.memory_hits;
+    cache_ok = s.Run.trace_generations = g1 && g1 > 0;
+  }
+
+let print_cache_row (r : cache_row) =
+  Printf.printf
+    "  tracegen/compile_cache                     %12s (%d generations, %d hits across a \
+     2-point timetag sweep)\n%!"
+    (if r.cache_ok then "shared" else "NOT SHARED")
+    r.cache_generations r.cache_hits
+
+let cache_row_to_json (r : cache_row) =
+  Printf.sprintf "{\"trace_generations\": %d, \"memory_hits\": %d, \"shared\": %b}"
+    r.cache_generations r.cache_hits r.cache_ok
 
 (* compare_all_schemes: the paper's methodology (one trace, every scheme)
    at jobs=1 vs jobs=N — the multicore experiment-runner speedup. Results

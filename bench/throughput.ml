@@ -1,12 +1,25 @@
 (* Standalone engine-throughput probe: the wall-clock benches of
    bench/main.ml's part 3 without the full table regeneration — a quick
-   before/after check when touching the engine hot path.
+   before/after check when touching the engine or trace-generation hot
+   paths.
 
    Flags:
      --smoke       capped workload; exit 1 when the packed replay is not
                    bit-identical to the boxed one or allocates >= 8
-                   minor-heap words per event (the @perf-smoke alias)
+                   minor-heap words per event, when the streaming trace
+                   builder diverges from boxed-generation + pack or
+                   allocates too much per generated event, or when a
+                   timing-knob sweep fails to share compiled traces
+                   (the @perf-smoke alias)
      --json PATH   also write the measurements as JSON *)
+
+(* replay side: the engine decodes events without constructing variants *)
+let replay_words_cap = 8.0
+
+(* compile side: streaming generation appends into preallocated slabs, so
+   per-slot allocation is interpreter overhead only (measured ~4.1 words
+   at full scale, ~4.7 on the smoke workload; the boxed path is ~29) *)
+let gen_words_cap = 6.0
 
 let () =
   let smoke = Array.exists (( = ) "--smoke") Sys.argv in
@@ -22,23 +35,47 @@ let () =
     else Perf.measure ()
   in
   Perf.print_report report;
+  let gen =
+    if smoke then Perf.measure_compile ~processors:16 ~n:512 ~iters:2 ~reps:1 ()
+    else Perf.measure_compile ()
+  in
+  Perf.print_compile_row gen;
+  let cache = Perf.measure_cache () in
+  Perf.print_cache_row cache;
   (match json_path with
   | Some path ->
     let oc = open_out path in
-    output_string oc (Perf.report_to_json report);
+    output_string oc
+      (Printf.sprintf "{\n\"engine\": %s,\n\"tracegen\": %s,\n\"compile_cache\": %s\n}\n"
+         (String.trim (Perf.report_to_json report))
+         (Perf.compile_row_to_json gen)
+         (Perf.cache_row_to_json cache));
     close_out oc;
     Printf.printf "  json written to %s\n%!" path
   | None -> ());
   if not smoke then Perf.compare_wall_clock ();
   let bad =
     List.filter
-      (fun (r : Perf.scheme_row) -> (not r.identical) || r.minor_words_per_event >= 8.0)
+      (fun (r : Perf.scheme_row) ->
+        (not r.identical) || r.minor_words_per_event >= replay_words_cap)
       report.Perf.rows
   in
   List.iter
     (fun (r : Perf.scheme_row) ->
       Printf.eprintf
-        "throughput: FAIL %s (identical=%b, minor_words_per_event=%.2f >= 8.0?)\n" r.scheme
-        r.identical r.minor_words_per_event)
+        "throughput: FAIL %s (identical=%b, minor_words_per_event=%.2f >= %.1f?)\n" r.scheme
+        r.identical r.minor_words_per_event replay_words_cap)
     bad;
-  if bad <> [] then exit 1
+  let gen_bad =
+    (not gen.Perf.gen_identical) || gen.Perf.gen_stream_words_per_event >= gen_words_cap
+  in
+  if gen_bad then
+    Printf.eprintf
+      "throughput: FAIL tracegen (identical=%b, minor_words_per_event=%.2f >= %.1f?)\n"
+      gen.Perf.gen_identical gen.Perf.gen_stream_words_per_event gen_words_cap;
+  if not cache.Perf.cache_ok then
+    Printf.eprintf
+      "throughput: FAIL compile cache (second sweep point regenerated traces: %d generations, \
+       %d hits)\n"
+      cache.Perf.cache_generations cache.Perf.cache_hits;
+  if bad <> [] || gen_bad || not cache.Perf.cache_ok then exit 1

@@ -122,7 +122,9 @@ let compare_cmd =
       Hscd_sim.Run.compare ~cfg ~schemes:Hscd_sim.Run.extended_schemes
         ~jobs:(resolve_jobs jobs) prog
     in
-    Printf.printf "epochs %d, events %d\n" (Hscd_sim.Trace.n_epochs c.trace) c.trace.total_events;
+    Printf.printf "epochs %d, events %d\n"
+      (Hscd_sim.Trace.packed_n_epochs c.packed_trace)
+      c.packed_trace.Hscd_sim.Trace.p_total_events;
     List.iter (fun (r : Hscd_sim.Run.comparison) -> print_metrics r.kind r.result) results
   in
   Cmd.v (Cmd.info "compare" ~doc:"Compare all schemes on the same trace")
@@ -149,26 +151,42 @@ let experiment_cmd =
     Term.(const run $ id_arg $ small_arg $ jobs_arg)
 
 let trace_cmd =
-  let run name out =
+  let run name out binary =
     let prog = read_program name in
     let c = Hscd_sim.Run.compile prog in
-    Hscd_sim.Trace_io.save out c.Hscd_sim.Run.trace;
-    Printf.printf "wrote %s: %d epochs, %d events\n" out
-      (Hscd_sim.Trace.n_epochs c.trace) c.trace.total_events
+    if binary then Hscd_sim.Trace_io.write_packed out c.Hscd_sim.Run.packed_trace
+    else Hscd_sim.Trace_io.save out (Hscd_sim.Run.boxed_trace c);
+    Printf.printf "wrote %s (%s): %d epochs, %d events\n" out
+      (if binary then "binary" else "text")
+      (Hscd_sim.Trace.packed_n_epochs c.packed_trace)
+      c.packed_trace.Hscd_sim.Trace.p_total_events
   in
   let out_arg =
     Arg.(value & opt string "trace.txt" & info [ "o"; "output" ] ~doc:"Output file")
   in
+  let binary_arg =
+    Arg.(
+      value & flag
+      & info [ "binary" ]
+          ~doc:"Write the binary packed format (direct slab dump, checksummed) instead of text")
+  in
   Cmd.v (Cmd.info "trace" ~doc:"Compile a program and dump its event trace to a file")
-    Term.(const run $ program_arg $ out_arg)
+    Term.(const run $ program_arg $ out_arg $ binary_arg)
 
 let replay_cmd =
-  let run path scheme procs line tag boxed =
+  let run path scheme procs line tag boxed binary =
     let cfg = cfg_of procs line tag in
-    let trace = Hscd_sim.Trace_io.load path in
+    (* binary traces are sniffed by magic; --binary forces the attempt *)
     let r =
-      if boxed then Hscd_sim.Run.simulate_boxed ~cfg scheme trace
-      else Hscd_sim.Run.simulate ~cfg scheme trace
+      if binary || Hscd_sim.Trace_io.is_binary path then begin
+        let packed = Hscd_sim.Trace_io.read_packed path in
+        if boxed then Hscd_sim.Run.simulate_boxed ~cfg scheme (Hscd_sim.Trace.unpack packed)
+        else Hscd_sim.Run.simulate_packed ~cfg scheme packed
+      end
+      else
+        let trace = Hscd_sim.Trace_io.load path in
+        if boxed then Hscd_sim.Run.simulate_boxed ~cfg scheme trace
+        else Hscd_sim.Run.simulate ~cfg scheme trace
     in
     print_metrics scheme r
   in
@@ -179,8 +197,15 @@ let replay_cmd =
       & info [ "boxed" ]
           ~doc:"Replay through the legacy boxed event loop instead of the packed engine path")
   in
-  Cmd.v (Cmd.info "replay" ~doc:"Simulate a previously dumped trace file")
-    Term.(const run $ path_arg $ scheme_arg $ procs_arg $ line_arg $ tag_arg $ boxed_arg)
+  let binary_arg =
+    Arg.(
+      value & flag
+      & info [ "binary" ]
+          ~doc:"Force reading the binary packed format (auto-detected by magic otherwise)")
+  in
+  Cmd.v (Cmd.info "replay" ~doc:"Simulate a previously dumped trace file (text or binary)")
+    Term.(const run $ path_arg $ scheme_arg $ procs_arg $ line_arg $ tag_arg $ boxed_arg
+          $ binary_arg)
 
 let fuzz_cmd =
   let module F = Hscd_check.Fuzz in

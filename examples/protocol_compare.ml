@@ -14,8 +14,8 @@ let () =
   let schemes = Run.[ Base; SC; TPI; HW; LimitLESS ] in
   let compiled, results = Run.compare ~schemes program in
   Printf.printf "OCEAN model: %d epochs, %d memory events\n\n"
-    (Core.Sim.Trace.n_epochs compiled.trace)
-    compiled.trace.total_events;
+    (Core.Sim.Trace.packed_n_epochs compiled.packed_trace)
+    compiled.packed_trace.Core.Sim.Trace.p_total_events;
 
   let t =
     Table.create ~title:"OCEAN under five coherence schemes"

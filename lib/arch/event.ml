@@ -61,6 +61,21 @@ module Code = struct
   (* write-mark codes (the mark slot is interpreted per opcode) *)
   let of_wmark = function Normal_write -> 0 | Bypass_write -> 1
   let wmark_of = function 0 -> Normal_write | _ -> Bypass_write
+
+  (* straight AST-mark -> code conversions for the streaming trace builder:
+     going through [of_ast_rmark] would allocate a fresh [Time_read] cell
+     per marked read in the generation hot path *)
+  let of_ast_rmark : Hscd_lang.Ast.rmark -> int = function
+    | Hscd_lang.Ast.Unmarked -> 0
+    | Hscd_lang.Ast.Normal_read -> 1
+    | Hscd_lang.Ast.Bypass_read -> 2
+    | Hscd_lang.Ast.Time_read d ->
+      if d < 0 then invalid_arg "Event.Code: negative Time_read distance";
+      rmark_base + d
+
+  let of_ast_wmark : Hscd_lang.Ast.wmark -> int = function
+    | Hscd_lang.Ast.Normal_write -> 0
+    | Hscd_lang.Ast.Bypass_write -> 1
 end
 
 let to_string = function

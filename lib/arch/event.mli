@@ -41,4 +41,10 @@ module Code : sig
 
   val of_wmark : wmark -> int
   val wmark_of : int -> wmark
+
+  (** Allocation-free AST-mark -> code conversions for the streaming trace
+      builder (no intermediate {!rmark}/{!wmark} cell). *)
+  val of_ast_rmark : Hscd_lang.Ast.rmark -> int
+
+  val of_ast_wmark : Hscd_lang.Ast.wmark -> int
 end

@@ -26,19 +26,44 @@ let cfg_key (c : Config.t) ~intertask ~small =
 
 let cache : (string, bench_result list) Hashtbl.t = Hashtbl.create 16
 
+(* Tail-recursive split into chunks of [n] (the sim grid can be large). *)
+let chunk n xs =
+  if n <= 0 then invalid_arg "Common.chunk";
+  let take n xs =
+    let rec go n acc = function
+      | x :: rest when n > 0 -> go (n - 1) (x :: acc) rest
+      | rest -> (List.rev acc, rest)
+    in
+    go n [] xs
+  in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | xs ->
+      let h, t = take n xs in
+      go (h :: acc) t
+  in
+  go [] xs
+
 (** Run all six Perfect Club models under [schemes] with [cfg]. [small]
     selects the test-scale versions. [jobs] (default 1) fans the
     bench × scheme simulation grid out over that many domains; every
     simulation owns its machine state, so results are bit-identical to the
-    sequential run (the memo cache key therefore ignores [jobs]). *)
+    sequential run (the memo cache key therefore ignores [jobs]).
+
+    Compilation goes through {!Run.compile}'s cache, so a sweep varying
+    only timing-side knobs generates each model's trace exactly once. *)
 let run_all ?(cfg = Config.default) ?(schemes = Run.all_schemes) ?(intertask = true)
     ?(small = false) ?jobs () =
-  let key = cfg_key cfg ~intertask ~small ^ String.concat "" (List.map Run.scheme_name schemes) in
+  (* scheme names are joined with a separator — bare concatenation would
+     let distinct scheme lists collide on one memo key *)
+  let key =
+    cfg_key cfg ~intertask ~small ^ "|" ^ String.concat "+" (List.map Run.scheme_name schemes)
+  in
   match Hashtbl.find_opt cache key with
   | Some r -> r
   | None ->
-    (* compile sequentially (cheap), then simulate the whole grid in
-       parallel: 6 benches x |schemes| independent engine runs *)
+    (* compile sequentially (cached and cheap), then simulate the whole
+       grid in parallel: 6 benches x |schemes| independent engine runs *)
     let compiled =
       List.map
         (fun (e : Perfect.entry) ->
@@ -54,26 +79,14 @@ let run_all ?(cfg = Config.default) ?(schemes = Run.all_schemes) ?(intertask = t
         (fun ((c : Run.compiled), kind) -> Run.simulate_packed ~cfg kind c.packed_trace)
         grid
     in
-    let rec chunk n = function
-      | [] -> []
-      | xs ->
-        let rec take n = function
-          | x :: rest when n > 0 ->
-            let h, t = take (n - 1) rest in
-            (x :: h, t)
-          | rest -> ([], rest)
-        in
-        let h, t = take n xs in
-        h :: chunk n t
-    in
     let results =
       List.map2
         (fun (name, (c : Run.compiled)) by ->
           {
             bench = name;
             census = c.census;
-            trace_epochs = Trace.n_epochs c.trace;
-            trace_events = c.trace.total_events;
+            trace_epochs = Trace.packed_n_epochs c.packed_trace;
+            trace_events = c.packed_trace.Trace.p_total_events;
             by_scheme = List.combine schemes by;
           })
         compiled

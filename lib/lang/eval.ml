@@ -25,6 +25,9 @@ type value = int
 type epoch_kind = Serial | Parallel of { lo : int; hi : int }
 
 type hooks = {
+  on_init : Shape.layout -> unit;
+      (** called once, before the first epoch, with the address map the run
+          uses — trace builders seed their interners from it *)
   on_epoch_begin : epoch_kind -> unit;
   on_epoch_end : unit -> unit;
   on_task_begin : iter:int -> unit;
@@ -39,6 +42,7 @@ type hooks = {
 
 let null_hooks =
   {
+    on_init = (fun _ -> ());
     on_epoch_begin = (fun _ -> ());
     on_epoch_end = (fun () -> ());
     on_task_begin = (fun ~iter:_ -> ());
@@ -69,30 +73,41 @@ module Races = struct
   (* For each word we remember up to two distinct non-critical readers, the
      last non-critical writer, and the same for critical accesses. Two
      distinct readers are enough: any subsequent writer conflicts with at
-     least one of them. *)
-  type entry = {
-    mutable nc_readers : int list;
-    mutable nc_writer : int option;
-    mutable cr_readers : int list;
-    mutable cr_writer : int option;
+     least one of them.
+
+     The table is direct-mapped over the flat address space (every access
+     is already bounds-checked against the layout), with a per-word epoch
+     stamp instead of per-epoch clearing: a stale stamp means "no accesses
+     recorded yet this epoch". This runs on every memory access, so it
+     must neither hash nor allocate; task ids are iteration ranks (>= 0),
+     so -1 serves as "none". *)
+  type t = {
+    stamp : int array;  (** last epoch that touched this word; 0 = never *)
+    nc_r1 : int array;
+    nc_r2 : int array;
+    nc_w : int array;
+    cr_r1 : int array;
+    cr_r2 : int array;
+    cr_w : int array;
+    mutable epoch : int;  (** current epoch stamp, monotonically increasing *)
+    enabled : bool;
   }
 
-  type t = { table : (int, entry) Hashtbl.t; mutable enabled : bool }
+  let create enabled ~words =
+    let n = if enabled then max 1 words else 1 in
+    {
+      stamp = Array.make n 0;
+      nc_r1 = Array.make n (-1);
+      nc_r2 = Array.make n (-1);
+      nc_w = Array.make n (-1);
+      cr_r1 = Array.make n (-1);
+      cr_r2 = Array.make n (-1);
+      cr_w = Array.make n (-1);
+      epoch = 1;
+      enabled;
+    }
 
-  let create enabled = { table = Hashtbl.create 1024; enabled }
-
-  let reset t = Hashtbl.reset t.table
-
-  let entry t addr =
-    match Hashtbl.find_opt t.table addr with
-    | Some e -> e
-    | None ->
-      let e = { nc_readers = []; nc_writer = None; cr_readers = []; cr_writer = None } in
-      Hashtbl.replace t.table addr e;
-      e
-
-  let add_reader readers task =
-    if List.mem task readers || List.length readers >= 2 then readers else task :: readers
+  let reset t = t.epoch <- t.epoch + 1
 
   let race array addr kind a b =
     raise
@@ -100,42 +115,55 @@ module Races = struct
          (Printf.sprintf "data race on %s (word %d): %s by tasks %d and %d in the same epoch"
             array addr kind a b))
 
-  let other_of task = function Some w when w <> task -> Some w | _ -> None
+  (* first recorded reader that isn't [task]; at most two distinct ids
+     are kept, so two checks cover every case *)
+  let[@inline] other_reader task r1 r2 = if r1 >= 0 && r1 <> task then r1 else if r2 >= 0 && r2 <> task then r2 else -1
+
+  let[@inline] add_reader r1 r2 addr task =
+    if r1.(addr) <> task && r2.(addr) <> task then begin
+      if r1.(addr) < 0 then r1.(addr) <- task
+      else if r2.(addr) < 0 then r2.(addr) <- task
+    end
 
   let record t ~array ~addr ~task ~is_write ~in_critical =
     if t.enabled then begin
-      let e = entry t addr in
+      if t.stamp.(addr) <> t.epoch then begin
+        t.stamp.(addr) <- t.epoch;
+        t.nc_r1.(addr) <- -1;
+        t.nc_r2.(addr) <- -1;
+        t.nc_w.(addr) <- -1;
+        t.cr_r1.(addr) <- -1;
+        t.cr_r2.(addr) <- -1;
+        t.cr_w.(addr) <- -1
+      end;
       if in_critical then begin
         (* critical accesses are mutually synchronized, but still conflict
            with non-critical accesses from other tasks *)
-        (match other_of task e.nc_writer with
-        | Some w -> race array addr "critical access vs. unsynchronized write" task w
-        | None -> ());
+        let w = t.nc_w.(addr) in
+        if w >= 0 && w <> task then
+          race array addr "critical access vs. unsynchronized write" task w;
         if is_write then begin
-          (match List.find_opt (fun r -> r <> task) e.nc_readers with
-          | Some r -> race array addr "critical write vs. unsynchronized read" task r
-          | None -> ());
-          e.cr_writer <- Some task
+          let r = other_reader task t.nc_r1.(addr) t.nc_r2.(addr) in
+          if r >= 0 then race array addr "critical write vs. unsynchronized read" task r;
+          t.cr_w.(addr) <- task
         end
-        else e.cr_readers <- add_reader e.cr_readers task
+        else add_reader t.cr_r1 t.cr_r2 addr task
       end
       else begin
-        (match other_of task e.cr_writer with
-        | Some w -> race array addr "unsynchronized access vs. critical write" task w
-        | None -> ());
-        (match other_of task e.nc_writer with
-        | Some w -> race array addr (if is_write then "write/write" else "read/write") task w
-        | None -> ());
+        let w = t.cr_w.(addr) in
+        if w >= 0 && w <> task then
+          race array addr "unsynchronized access vs. critical write" task w;
+        let w = t.nc_w.(addr) in
+        if w >= 0 && w <> task then
+          race array addr (if is_write then "write/write" else "read/write") task w;
         if is_write then begin
-          (match List.find_opt (fun r -> r <> task) e.nc_readers with
-          | Some r -> race array addr "write/read" task r
-          | None -> ());
-          (match List.find_opt (fun r -> r <> task) e.cr_readers with
-          | Some r -> race array addr "unsynchronized write vs. critical read" task r
-          | None -> ());
-          e.nc_writer <- Some task
+          let r = other_reader task t.nc_r1.(addr) t.nc_r2.(addr) in
+          if r >= 0 then race array addr "write/read" task r;
+          let r = other_reader task t.cr_r1.(addr) t.cr_r2.(addr) in
+          if r >= 0 then race array addr "unsynchronized write vs. critical read" task r;
+          t.nc_w.(addr) <- task
         end
-        else e.nc_readers <- add_reader e.nc_readers task
+        else add_reader t.nc_r1 t.nc_r2 addr task
       end
     end
 end
@@ -163,9 +191,9 @@ let bump_steps st =
     runtime_errorf "execution exceeded %d steps (non-terminating program?)" st.max_steps
 
 let lookup env v =
-  match Hashtbl.find_opt env v with
-  | Some x -> x
-  | None -> runtime_errorf "scalar %s used before definition" v
+  match Hashtbl.find env v with
+  | x -> x
+  | exception Not_found -> runtime_errorf "scalar %s used before definition" v
 
 (* --- expression evaluation --- *)
 
@@ -194,18 +222,43 @@ let rec eval_expr st env (e : Ast.expr) =
     let b = eval_expr st env r in
     apply_binop op a b
   | Blackbox (name, args) -> blackbox_value name (List.map (eval_expr st env) args)
+  (* one and two subscripts are the common shapes; addressing them
+     directly skips the per-access closure and index list of the general
+     case (the dominant allocation when generating traces) *)
+  | Aref (a, [ ie ], mark) ->
+    let i = eval_expr st env ie in
+    let addr =
+      try Shape.address1 st.layout a i with Invalid_argument m -> raise (Runtime_error m)
+    in
+    finish_read st a addr mark
+  | Aref (a, [ ie; je ], mark) ->
+    let i = eval_expr st env ie in
+    let j = eval_expr st env je in
+    let addr =
+      try Shape.address2 st.layout a i j with Invalid_argument m -> raise (Runtime_error m)
+    in
+    finish_read st a addr mark
   | Aref (a, idx, mark) ->
     let indices = List.map (eval_expr st env) idx in
     let addr =
       try Shape.address st.layout a indices
       with Invalid_argument m -> raise (Runtime_error m)
     in
+    finish_read st a addr mark
+
+and finish_read st a addr mark =
+  (* a serial epoch runs as a single task, so no cross-task race is
+     possible, and the table is reset on parallel-epoch entry — recording
+     only inside parallel epochs is observationally identical *)
+  if st.in_parallel then
     Races.record st.races ~array:a ~addr ~task:st.task ~is_write:false
       ~in_critical:st.in_critical;
-    let value = st.memory.(addr) in
-    let mark = if st.in_critical && mark = Ast.Unmarked then Ast.Bypass_read else mark in
-    st.hooks.on_read ~array:a ~addr ~value ~mark;
-    value
+  let value = st.memory.(addr) in
+  let mark =
+    match mark with Ast.Unmarked when st.in_critical -> Ast.Bypass_read | m -> m
+  in
+  st.hooks.on_read ~array:a ~addr ~value ~mark;
+  value
 
 let rec eval_cond st env (c : Ast.cond) =
   match c with
@@ -225,12 +278,57 @@ let rec eval_cond st env (c : Ast.cond) =
 
 (* --- statement execution --- *)
 
-let rec exec_stmts st env stmts = List.iter (exec_stmt st env) stmts
+(* Can executing [s] mutate the enclosing scalar environment? A CALL runs
+   in a fresh callee environment and a nested DO restores its own index,
+   so only a reachable ASSIGN counts. Used to decide whether DOALL tasks
+   need private environment copies. *)
+let rec stmt_assigns_scalar (s : Ast.stmt) =
+  match s with
+  | Assign _ -> true
+  | Store _ | Work _ | Call _ -> false
+  | If (_, t, e) -> List.exists stmt_assigns_scalar t || List.exists stmt_assigns_scalar e
+  | Critical body | Do { body; _ } -> List.exists stmt_assigns_scalar body
+  | Doall _ -> true
+
+(* subscripts evaluate before the stored value, and the address check
+   happens after both — the same observable order (and hook stream) as
+   the general [Store] case below *)
+let finish_write st a addr value mark =
+  if st.in_parallel then
+    Races.record st.races ~array:a ~addr ~task:st.task ~is_write:true
+      ~in_critical:st.in_critical;
+  st.memory.(addr) <- value;
+  let mark =
+    match mark with Ast.Normal_write when st.in_critical -> Ast.Bypass_write | m -> m
+  in
+  st.hooks.on_write ~array:a ~addr ~value ~mark
+
+let rec exec_stmts st env stmts =
+  match stmts with
+  | [] -> ()
+  | s :: rest ->
+    exec_stmt st env s;
+    exec_stmts st env rest
 
 and exec_stmt st env (s : Ast.stmt) =
   bump_steps st;
   match s with
   | Assign (v, e) -> Hashtbl.replace env v (eval_expr st env e)
+  | Store (a, [ ie ], e, mark) ->
+    let i = eval_expr st env ie in
+    let value = eval_expr st env e in
+    let addr =
+      try Shape.address1 st.layout a i with Invalid_argument m -> raise (Runtime_error m)
+    in
+    finish_write st a addr value mark
+  | Store (a, [ ie; je ], e, mark) ->
+    let i = eval_expr st env ie in
+    let j = eval_expr st env je in
+    let value = eval_expr st env e in
+    let addr =
+      try Shape.address2 st.layout a i j with Invalid_argument m -> raise (Runtime_error m)
+    in
+    finish_write st a addr value mark
   | Store (a, idx, e, mark) ->
     let indices = List.map (eval_expr st env) idx in
     let value = eval_expr st env e in
@@ -238,11 +336,7 @@ and exec_stmt st env (s : Ast.stmt) =
       try Shape.address st.layout a indices
       with Invalid_argument m -> raise (Runtime_error m)
     in
-    Races.record st.races ~array:a ~addr ~task:st.task ~is_write:true
-      ~in_critical:st.in_critical;
-    st.memory.(addr) <- value;
-    let mark = if st.in_critical && mark = Ast.Normal_write then Ast.Bypass_write else mark in
-    st.hooks.on_write ~array:a ~addr ~value ~mark
+    finish_write st a addr value mark
   | Work e ->
     let n = eval_expr st env e in
     if n < 0 then runtime_errorf "work with negative cycle count %d" n;
@@ -289,16 +383,27 @@ and exec_stmt st env (s : Ast.stmt) =
     st.hooks.on_epoch_begin (Parallel { lo; hi });
     Races.reset st.races;
     st.in_parallel <- true;
+    (* task-private scalars: each iteration works on a copy of the
+       enclosing environment and its updates are discarded. When the body
+       provably never assigns a scalar the copy is unobservable (a nested
+       DO restores its own index), so every task can share the enclosing
+       environment with only the loop index swapped in — one Hashtbl copy
+       per iteration is the biggest allocation in trace generation. *)
+    let shares_env = not (List.exists stmt_assigns_scalar body) in
+    let saved_index = if shares_env then Hashtbl.find_opt env index else None in
     for i = lo to hi do
       st.task <- i - lo;
       st.hooks.on_task_begin ~iter:i;
-      (* task-private scalars: each iteration works on a copy of the
-         enclosing environment and its updates are discarded *)
-      let task_env = Hashtbl.copy env in
+      let task_env = if shares_env then env else Hashtbl.copy env in
       Hashtbl.replace task_env index i;
       exec_stmts st task_env body;
       st.hooks.on_task_end ()
     done;
+    if shares_env then begin
+      match saved_index with
+      | Some v -> Hashtbl.replace env index v
+      | None -> Hashtbl.remove env index
+    end;
     st.in_parallel <- false;
     st.task <- 0;
     st.hooks.on_epoch_end ();
@@ -326,7 +431,7 @@ let run ?(hooks = null_hooks) ?(check_races = true) ?(max_steps = 50_000_000)
       layout;
       memory = Array.make (max 1 layout.total_words) 0;
       hooks;
-      races = Races.create check_races;
+      races = Races.create check_races ~words:layout.total_words;
       task = 0;
       in_parallel = false;
       in_critical = false;
@@ -340,6 +445,7 @@ let run ?(hooks = null_hooks) ?(check_races = true) ?(max_steps = 50_000_000)
     | Some p -> p
     | None -> runtime_errorf "entry procedure %s not found" program.entry
   in
+  hooks.on_init layout;
   hooks.on_epoch_begin Serial;
   hooks.on_task_begin ~iter:0;
   exec_stmts st (Hashtbl.create 16) entry.body;

@@ -15,6 +15,9 @@ type value = int
 type epoch_kind = Serial | Parallel of { lo : int; hi : int }
 
 type hooks = {
+  on_init : Shape.layout -> unit;
+      (** called once, before the first epoch, with the address map the run
+          uses — trace builders seed their interners from it *)
   on_epoch_begin : epoch_kind -> unit;
   on_epoch_end : unit -> unit;
   on_task_begin : iter:int -> unit;

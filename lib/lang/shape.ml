@@ -36,9 +36,11 @@ let layout ?(line_words = 4) (decls : Ast.decl list) =
   { arrays; total_words = !next }
 
 let find l name =
-  match Hashtbl.find_opt l.arrays name with
-  | Some t -> t
-  | None -> invalid_arg (Printf.sprintf "Shape: unknown array %s" name)
+  (* Hashtbl.find rather than find_opt: this sits on the interpreter's
+     per-access path and the [Some] box is measurable *)
+  match Hashtbl.find l.arrays name with
+  | t -> t
+  | exception Not_found -> invalid_arg (Printf.sprintf "Shape: unknown array %s" name)
 
 let mem l name = Hashtbl.mem l.arrays name
 
@@ -63,6 +65,33 @@ let flatten t indices =
 let address l name indices =
   let t = find l name in
   t.base + flatten t indices
+
+(* Unrolled 1- and 2-subscript addressing for the interpreter's access
+   path: same bounds checks and error text as [flatten], no index list. *)
+
+let oob t i d =
+  invalid_arg (Printf.sprintf "Shape: index %d out of bounds [0,%d) for %s" i d t.name)
+
+let arity_mismatch t got =
+  invalid_arg
+    (Printf.sprintf "Shape: %s expects %d subscripts, got %d" t.name (List.length t.dims) got)
+
+let address1 l name i =
+  let t = find l name in
+  match t.dims with
+  | [ d ] ->
+    if i < 0 || i >= d then oob t i d;
+    t.base + i
+  | _ -> arity_mismatch t 1
+
+let address2 l name i j =
+  let t = find l name in
+  match t.dims with
+  | [ d1; d2 ] ->
+    if i < 0 || i >= d1 then oob t i d1;
+    if j < 0 || j >= d2 then oob t j d2;
+    t.base + (i * d2) + j
+  | _ -> arity_mismatch t 2
 
 (** Inverse of [address]: which array and flat offset owns a word address.
     Returns [None] for padding words. *)

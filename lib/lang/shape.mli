@@ -28,6 +28,12 @@ val flatten : t -> int list -> int
 (** Word address of an element. *)
 val address : layout -> string -> int list -> int
 
+(** [address1 l a i] = [address l a [i]] without allocating the index
+    list; [address2] likewise for two subscripts. Same bounds checking. *)
+val address1 : layout -> string -> int -> int
+
+val address2 : layout -> string -> int -> int -> int
+
 (** Which array (and flat offset) owns a word address; [None] on padding. *)
 val owner : layout -> int -> (t * int) option
 

@@ -56,19 +56,108 @@ let pack kind cfg ~memory_words ~network ~traffic =
 type compiled = {
   marked : Ast.program;
   census : Marking.census;
-  trace : Trace.t;
   packed_trace : Trace.packed;  (** engine-native form, compiled once *)
 }
 
-(** Front half: check, mark, trace, pack. The marking is told whether the
-    engine's scheduling policy is static, so owner-alignment stays sound. *)
-let compile ?(cfg = Config.default) ?(intertask = true) ?(check_races = true)
+(** The boxed trace, reconstructed on demand — the compiled artifact only
+    retains the engine-native packed form. *)
+let boxed_trace (c : compiled) = Trace.unpack c.packed_trace
+
+(* ------------------------------------------------------------------ *)
+(* Compile cache: parameter sweeps hit [compile] once per point, but    *)
+(* most points share the reference stream — only the trace-relevant     *)
+(* knobs (line size, scheduling staticness, marking flags) change it.   *)
+(* The in-memory table shares [compiled] across a process; the optional *)
+(* on-disk store (binary v2 traces) shares them across processes.       *)
+(* ------------------------------------------------------------------ *)
+
+type cache_stats = { trace_generations : int; memory_hits : int; disk_hits : int }
+
+let cache_table : (string, compiled) Hashtbl.t = Hashtbl.create 16
+let n_generations = ref 0
+let n_memory_hits = ref 0
+let n_disk_hits = ref 0
+let cache_dir = ref (Sys.getenv_opt "HSCD_COMPILE_CACHE")
+
+let set_compile_cache_dir d = cache_dir := d
+
+let compile_cache_stats () =
+  { trace_generations = !n_generations; memory_hits = !n_memory_hits; disk_hits = !n_disk_hits }
+
+let reset_compile_cache () =
+  Hashtbl.reset cache_table;
+  n_generations := 0;
+  n_memory_hits := 0;
+  n_disk_hits := 0
+
+(* Key: digest of the printed (sema-checked, pre-marking) program plus the
+   knobs that reach the reference stream. Timing-side parameters
+   (processors, timetag bits, cache geometry beyond the line size) are
+   deliberately absent, so every point of a sweep shares one entry. *)
+let cache_key ~cfg ~intertask ~check_races program =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          [
+            Hscd_lang.Printer.program_to_string program;
+            string_of_int cfg.Config.line_words;
+            string_of_bool (Schedule.is_static cfg);
+            string_of_bool intertask;
+            string_of_bool check_races;
+          ]))
+
+let disk_path dir key = Filename.concat dir (key ^ ".hscdtrc")
+
+let disk_read key =
+  match !cache_dir with
+  | None -> None
+  | Some dir ->
+    let path = disk_path dir key in
+    if Sys.file_exists path then (try Some (Trace_io.read_packed path) with _ -> None) else None
+
+(* best-effort: a full disk or read-only dir must never fail a compile *)
+let disk_write key packed =
+  match !cache_dir with
+  | None -> ()
+  | Some dir -> (
+    try
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let path = disk_path dir key in
+      let tmp = path ^ ".tmp" in
+      Trace_io.write_packed tmp packed;
+      Sys.rename tmp path
+    with _ -> ())
+
+(** Front half: check, mark, trace (streamed straight into the packed
+    form). The marking is told whether the engine's scheduling policy is
+    static, so owner-alignment stays sound. [cache] (default on) consults
+    the compile cache keyed on the program text and trace-relevant knobs. *)
+let compile ?(cfg = Config.default) ?(intertask = true) ?(check_races = true) ?(cache = true)
     (program : Ast.program) =
   let program = Sema.check_exn program in
-  let m = Marking.mark_program ~static_sched:(Schedule.is_static cfg) ~intertask program in
-  let trace = Trace.of_program ~check_races ~line_words:cfg.line_words m.Marking.program in
-  { marked = m.Marking.program; census = m.Marking.census; trace;
-    packed_trace = Trace.pack trace }
+  let key = if cache then Some (cache_key ~cfg ~intertask ~check_races program) else None in
+  match key with
+  | Some k when Hashtbl.mem cache_table k ->
+    incr n_memory_hits;
+    Hashtbl.find cache_table k
+  | _ ->
+    let m = Marking.mark_program ~static_sched:(Schedule.is_static cfg) ~intertask program in
+    let packed_trace =
+      match (match key with Some k -> disk_read k | None -> None) with
+      | Some p ->
+        incr n_disk_hits;
+        p
+      | None ->
+        incr n_generations;
+        let p =
+          Trace.of_program_packed ~check_races ~line_words:cfg.line_words m.Marking.program
+        in
+        (match key with Some k -> disk_write k p | None -> ());
+        p
+    in
+    let c = { marked = m.Marking.program; census = m.Marking.census; packed_trace } in
+    (match key with Some k -> Hashtbl.replace cache_table k c | None -> ());
+    c
 
 (** Back half: one scheme over a packed trace (the engine-native form —
     packed traces are immutable, so one can be shared across domains). *)
@@ -100,8 +189,9 @@ type comparison = { kind : scheme_kind; result : Engine.result }
     schemes run on separate domains — each simulation owns its network,
     traffic and scheme state and the engine's PRNG is per-run, so the
     results are bit-identical to the sequential run. *)
-let compare ?(cfg = Config.default) ?(schemes = all_schemes) ?(intertask = true) ?jobs program =
-  let c = compile ~cfg ~intertask program in
+let compare ?(cfg = Config.default) ?(schemes = all_schemes) ?(intertask = true) ?cache ?jobs
+    program =
+  let c = compile ~cfg ~intertask ?cache program in
   ( c,
     Hscd_util.Pool.map ?jobs
       (fun kind -> { kind; result = simulate_packed ~cfg kind c.packed_trace })

@@ -48,7 +48,8 @@ let of_program ?(check_races = true) ?(line_words = 4) (program : Ast.program) =
   in
   let hooks =
     {
-      Eval.on_epoch_begin =
+      Eval.on_init = (fun _ -> ());
+      on_epoch_begin =
         (fun kind ->
           cur_kind :=
             (match kind with
@@ -203,15 +204,428 @@ let pack (t : t) =
     p_max_tickets = !max_tickets;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Streaming builder: packed traces as the native output of generation  *)
+(* ------------------------------------------------------------------ *)
+
+module Builder = struct
+  (* Growable unboxed slabs with the same five-slab layout as [packed];
+     the emit path is free of minor-heap allocation (fresh slabs land in
+     the major heap directly), so trace generation streams events into
+     their final form without ever materializing the boxed [t].
+     [pack] above stays as the independent reference implementation the
+     test suite checks this builder against, slot for slot. *)
+  type t = {
+    mutable ops : int array;
+    mutable addrs : int array;
+    mutable values : int array;
+    mutable marks : int array;
+    mutable arrs : int array;
+    mutable pos : int;  (** next free slot *)
+    mutable total : int;  (** memory + sync events, as in {!t.total_events} *)
+    mutable pending_work : int;
+    mutable symtab : Hscd_util.Symtab.t;
+    mutable layout : Shape.layout option;
+    mutable last_name : string;  (** one-entry intern memo: the hot path *)
+    mutable last_id : int;  (** re-reads the same array site repeatedly *)
+    mutable max_rcode : int;
+    (* epoch/task assembly: descriptors accumulate in int slabs as well,
+       so task and epoch boundaries allocate nothing either — the [ptask]
+       and [pepoch] records are materialized once, in [finish] *)
+    mutable t_iter : int array;
+    mutable t_off : int array;
+    mutable t_len : int array;
+    mutable t_ticket0 : int array;
+    mutable t_nlocks : int array;
+    mutable n_tasks : int;
+    mutable e_kind : int array;  (** 0 = serial, 1 = parallel *)
+    mutable e_lo : int array;
+    mutable e_hi : int array;
+    mutable e_task0 : int array;
+    mutable e_ntickets : int array;
+    mutable n_epochs : int;
+    mutable cur_kind : epoch_kind;
+    mutable epoch_task0 : int;
+    mutable task_iter : int;
+    mutable task_off : int;
+    mutable task_ticket0 : int;
+    mutable ticket : int;
+    mutable max_tickets : int;
+  }
+
+  let create ?(capacity = 1024) () =
+    let cap = max 1 capacity in
+    {
+      ops = Array.make cap 0;
+      addrs = Array.make cap 0;
+      values = Array.make cap 0;
+      marks = Array.make cap 0;
+      arrs = Array.make cap 0;
+      pos = 0;
+      total = 0;
+      pending_work = 0;
+      symtab = Hscd_util.Symtab.create ();
+      layout = None;
+      last_name = "";
+      last_id = -1;
+      max_rcode = 0;
+      t_iter = Array.make 64 0;
+      t_off = Array.make 64 0;
+      t_len = Array.make 64 0;
+      t_ticket0 = Array.make 64 0;
+      t_nlocks = Array.make 64 0;
+      n_tasks = 0;
+      e_kind = Array.make 16 0;
+      e_lo = Array.make 16 0;
+      e_hi = Array.make 16 0;
+      e_task0 = Array.make 16 0;
+      e_ntickets = Array.make 16 0;
+      n_epochs = 0;
+      cur_kind = Serial;
+      epoch_task0 = 0;
+      task_iter = 0;
+      task_off = 0;
+      task_ticket0 = 0;
+      ticket = 0;
+      max_tickets = 0;
+    }
+
+  (** Seed the interner from the address map (canonical layout-order ids,
+      identical to {!pack}'s assignment). Must run before the first emit. *)
+  let init b (layout : Shape.layout) =
+    b.symtab <- symtab_of_layout layout;
+    b.layout <- Some layout
+
+  let grow b =
+    let cap = 2 * Array.length b.ops in
+    let extend a =
+      let fresh = Array.make cap 0 in
+      Array.blit a 0 fresh 0 b.pos;
+      fresh
+    in
+    b.ops <- extend b.ops;
+    b.addrs <- extend b.addrs;
+    b.values <- extend b.values;
+    b.marks <- extend b.marks;
+    b.arrs <- extend b.arrs
+
+  let[@inline] slot b =
+    if b.pos >= Array.length b.ops then grow b;
+    let i = b.pos in
+    b.pos <- i + 1;
+    i
+
+  (* Slots are written at most once and fresh slabs are zeroed, so fields
+     [pack] leaves at 0 (e.g. a compute slot's mark) need no stores here. *)
+
+  let emit_compute b n =
+    let i = slot b in
+    b.ops.(i) <- Event.Code.compute;
+    b.addrs.(i) <- n
+
+  let[@inline] flush_work b =
+    if b.pending_work > 0 then begin
+      emit_compute b b.pending_work;
+      b.pending_work <- 0
+    end
+
+  let emit_work b n = b.pending_work <- b.pending_work + n
+
+  let[@inline] intern b name =
+    if name == b.last_name then b.last_id
+    else begin
+      let id = Hscd_util.Symtab.intern b.symtab name in
+      b.last_name <- name;
+      b.last_id <- id;
+      id
+    end
+
+  let emit_read b ~array ~addr ~value ~rcode =
+    flush_work b;
+    let i = slot b in
+    b.ops.(i) <- Event.Code.read;
+    b.addrs.(i) <- addr;
+    b.values.(i) <- value;
+    if rcode > b.max_rcode then b.max_rcode <- rcode;
+    b.marks.(i) <- rcode;
+    b.arrs.(i) <- intern b array;
+    b.total <- b.total + 1
+
+  let emit_write b ~array ~addr ~value ~wcode =
+    flush_work b;
+    let i = slot b in
+    b.ops.(i) <- Event.Code.write;
+    b.addrs.(i) <- addr;
+    b.values.(i) <- value;
+    b.marks.(i) <- wcode;
+    b.arrs.(i) <- intern b array;
+    b.total <- b.total + 1
+
+  let emit_lock b =
+    flush_work b;
+    let i = slot b in
+    b.ops.(i) <- Event.Code.lock;
+    b.ticket <- b.ticket + 1;
+    b.total <- b.total + 1
+
+  let emit_unlock b =
+    flush_work b;
+    let i = slot b in
+    b.ops.(i) <- Event.Code.unlock;
+    b.total <- b.total + 1
+
+  let extend a n =
+    let fresh = Array.make (2 * Array.length a) 0 in
+    Array.blit a 0 fresh 0 n;
+    fresh
+
+  let epoch_begin b kind =
+    b.cur_kind <- kind;
+    b.epoch_task0 <- b.n_tasks;
+    b.ticket <- 0
+
+  let task_begin b ~iter =
+    b.task_iter <- iter;
+    b.task_off <- b.pos;
+    b.task_ticket0 <- b.ticket;
+    b.pending_work <- 0
+
+  let task_end b =
+    flush_work b;
+    let i = b.n_tasks in
+    if i >= Array.length b.t_iter then begin
+      b.t_iter <- extend b.t_iter i;
+      b.t_off <- extend b.t_off i;
+      b.t_len <- extend b.t_len i;
+      b.t_ticket0 <- extend b.t_ticket0 i;
+      b.t_nlocks <- extend b.t_nlocks i
+    end;
+    b.t_iter.(i) <- b.task_iter;
+    b.t_off.(i) <- b.task_off;
+    b.t_len.(i) <- b.pos - b.task_off;
+    b.t_ticket0.(i) <- b.task_ticket0;
+    b.t_nlocks.(i) <- b.ticket - b.task_ticket0;
+    b.n_tasks <- i + 1
+
+  let epoch_end b =
+    if b.ticket > b.max_tickets then b.max_tickets <- b.ticket;
+    let i = b.n_epochs in
+    if i >= Array.length b.e_kind then begin
+      b.e_kind <- extend b.e_kind i;
+      b.e_lo <- extend b.e_lo i;
+      b.e_hi <- extend b.e_hi i;
+      b.e_task0 <- extend b.e_task0 i;
+      b.e_ntickets <- extend b.e_ntickets i
+    end;
+    (match b.cur_kind with
+    | Serial -> b.e_kind.(i) <- 0
+    | Parallel { lo; hi } ->
+      b.e_kind.(i) <- 1;
+      b.e_lo.(i) <- lo;
+      b.e_hi.(i) <- hi);
+    b.e_task0.(i) <- b.epoch_task0;
+    b.e_ntickets.(i) <- b.ticket;
+    b.n_epochs <- i + 1
+
+  (** Close the builder. [total_events] overrides the builder's own count
+      (used when re-packing a boxed trace whose count follows different
+      bookkeeping, e.g. loaded corpus traces that exclude lock events). *)
+  let finish ?total_events b ~golden =
+    let layout =
+      match b.layout with
+      | Some l -> l
+      | None -> invalid_arg "Trace.Builder: finish before init"
+    in
+    let epoch i =
+      let task0 = b.e_task0.(i) in
+      let task_hi = if i + 1 < b.n_epochs then b.e_task0.(i + 1) else b.n_tasks in
+      {
+        p_kind =
+          (if b.e_kind.(i) = 0 then Serial
+           else Parallel { lo = b.e_lo.(i); hi = b.e_hi.(i) });
+        p_tasks =
+          Array.init (task_hi - task0) (fun j ->
+              let t = task0 + j in
+              {
+                p_iter = b.t_iter.(t);
+                off = b.t_off.(t);
+                len = b.t_len.(t);
+                ticket0 = b.t_ticket0.(t);
+                n_locks = b.t_nlocks.(t);
+              });
+        p_n_tickets = b.e_ntickets.(i);
+      }
+    in
+    (* trim to the live prefix: the packed form should not retain the
+       doubling slack, and [pack] produces exact-size slabs *)
+    let exact a = if Array.length a = b.pos then a else Array.sub a 0 b.pos in
+    {
+      ops = exact b.ops;
+      addrs = exact b.addrs;
+      values = exact b.values;
+      marks = exact b.marks;
+      arrs = exact b.arrs;
+      p_epochs = Array.init b.n_epochs epoch;
+      symtab = b.symtab;
+      rmark_table = Event.Code.rmark_table ~max_code:b.max_rcode;
+      p_layout = layout;
+      p_golden = golden;
+      p_total_events = (match total_events with Some n -> n | None -> b.total);
+      n_slots = b.pos;
+      p_max_tickets = b.max_tickets;
+    }
+
+  (** Eval hooks appending straight into the slabs — the streaming trace
+      generator. The mark conversions go AST-code directly, so the per-event
+      path constructs no variant cells. *)
+  let hooks b : Eval.hooks =
+    {
+      Eval.on_init = (fun layout -> init b layout);
+      on_epoch_begin =
+        (fun kind ->
+          epoch_begin b
+            (match kind with
+            | Eval.Serial -> Serial
+            | Eval.Parallel { lo; hi } -> Parallel { lo; hi }));
+      on_epoch_end = (fun () -> epoch_end b);
+      on_task_begin = (fun ~iter -> task_begin b ~iter);
+      on_task_end = (fun () -> task_end b);
+      on_read =
+        (fun ~array ~addr ~value ~mark ->
+          emit_read b ~array ~addr ~value ~rcode:(Event.Code.of_ast_rmark mark));
+      on_write =
+        (fun ~array ~addr ~value ~mark ->
+          emit_write b ~array ~addr ~value ~wcode:(Event.Code.of_ast_wmark mark));
+      on_work = (fun n -> emit_work b n);
+      on_lock = (fun () -> emit_lock b);
+      on_unlock = (fun () -> emit_unlock b);
+    }
+end
+
+(** Generate the packed trace directly: run the instrumented interpreter
+    with builder hooks, never materializing the boxed [t]. Replay results
+    are bit-identical to [pack (of_program p)] (asserted by the tests). *)
+let of_program_packed ?(check_races = true) ?(line_words = 4) (program : Ast.program) =
+  (* a few thousand slots up front keeps the doubling copies (each one a
+     major-heap copy of every slab) off small and medium traces without
+     making tiny programs pay for megabytes of zeroed slab *)
+  let b = Builder.create ~capacity:4096 () in
+  let result = Eval.run ~hooks:(Builder.hooks b) ~check_races ~line_words program in
+  Builder.finish b ~golden:result.Eval.final_memory
+
+(** Stream an existing boxed trace through the builder — the packed result
+    is slot-for-slot identical to {!pack} (compute slots are emitted raw,
+    not re-coalesced), with exact initial capacity. *)
+let pack_streaming (t : t) =
+  let n_slots =
+    Array.fold_left
+      (fun acc e ->
+        Array.fold_left (fun acc (task : task) -> acc + Array.length task.events) acc e.tasks)
+      0 t.epochs
+  in
+  let b = Builder.create ~capacity:(max 1 n_slots) () in
+  Builder.init b t.layout;
+  Array.iter
+    (fun (e : epoch) ->
+      Builder.epoch_begin b e.kind;
+      Array.iter
+        (fun (task : task) ->
+          Builder.task_begin b ~iter:task.iter;
+          Array.iter
+            (fun ev ->
+              match ev with
+              | Event.Compute n -> Builder.emit_compute b n
+              | Event.Read { addr; mark; value; array } ->
+                Builder.emit_read b ~array ~addr ~value ~rcode:(Event.Code.of_rmark mark)
+              | Event.Write { addr; mark; value; array } ->
+                Builder.emit_write b ~array ~addr ~value ~wcode:(Event.Code.of_wmark mark)
+              | Event.Lock -> Builder.emit_lock b
+              | Event.Unlock -> Builder.emit_unlock b)
+            task.events;
+          Builder.task_end b)
+        e.tasks;
+      Builder.epoch_end b)
+    t.epochs;
+  Builder.finish b ~total_events:t.total_events ~golden:t.golden_memory
+
+(** Reconstruct the boxed form from a packed trace — exact inverse of
+    {!pack}/{!pack_streaming}, for text serialization and differential
+    tests against the legacy replay loop. *)
+let unpack (p : packed) : t =
+  let epochs =
+    Array.map
+      (fun (pe : pepoch) ->
+        {
+          kind = pe.p_kind;
+          tasks =
+            Array.map
+              (fun (pt : ptask) ->
+                let events =
+                  Array.init pt.len (fun j ->
+                      let i = pt.off + j in
+                      let op = p.ops.(i) in
+                      if op = Event.Code.compute then Event.Compute p.addrs.(i)
+                      else if op = Event.Code.read then
+                        Event.Read
+                          {
+                            addr = p.addrs.(i);
+                            mark = Event.Code.rmark_of p.marks.(i);
+                            value = p.values.(i);
+                            array = Hscd_util.Symtab.name p.symtab p.arrs.(i);
+                          }
+                      else if op = Event.Code.write then
+                        Event.Write
+                          {
+                            addr = p.addrs.(i);
+                            mark = Event.Code.wmark_of p.marks.(i);
+                            value = p.values.(i);
+                            array = Hscd_util.Symtab.name p.symtab p.arrs.(i);
+                          }
+                      else if op = Event.Code.lock then Event.Lock
+                      else Event.Unlock)
+                in
+                { iter = pt.p_iter; events })
+              pe.p_tasks;
+        })
+      p.p_epochs
+  in
+  {
+    epochs;
+    layout = p.p_layout;
+    golden_memory = p.p_golden;
+    total_events = p.p_total_events;
+  }
+
 let packed_memory_words (p : packed) = max 1 p.p_layout.Shape.total_words
 
 (** Live heap words of the packed slabs (five ints per slot plus task and
     epoch descriptors) — the footprint EXPERIMENTS.md reports against the
-    boxed form's per-event blocks. *)
+    boxed form's per-event blocks. Counts slab *capacity*, not just live
+    slots: builder-grown slabs may hold up to 2x headroom and that memory
+    is just as resident. *)
 let packed_slab_words (p : packed) =
   let task_words = 8 (* 5 fields + header + ~2 amortized epoch overhead *) in
-  (5 * (p.n_slots + 1))
+  (5 * max 1 (Array.length p.ops))
   + Array.fold_left (fun acc e -> acc + (task_words * Array.length e.p_tasks)) 0 p.p_epochs
+
+(* --- packed-native trace statistics (no boxed form required) --- *)
+
+let packed_n_epochs (p : packed) = Array.length p.p_epochs
+
+let packed_n_parallel_epochs (p : packed) =
+  Array.fold_left
+    (fun acc e -> match e.p_kind with Parallel _ -> acc + 1 | Serial -> acc)
+    0 p.p_epochs
+
+(** (reads, writes) over the live slots of a packed trace. *)
+let packed_access_counts (p : packed) =
+  let reads = ref 0 and writes = ref 0 in
+  for i = 0 to p.n_slots - 1 do
+    let op = p.ops.(i) in
+    if op = Event.Code.read then incr reads
+    else if op = Event.Code.write then incr writes
+  done;
+  (!reads, !writes)
 
 let n_epochs t = Array.length t.epochs
 

@@ -55,15 +55,61 @@ type packed = {
     id assignment shared by the packed and boxed replay paths. *)
 val symtab_of_layout : Hscd_lang.Shape.layout -> Hscd_util.Symtab.t
 
-(** Compile the boxed trace into the packed form. *)
+(** Compile the boxed trace into the packed form. Kept as the independent
+    reference implementation the streaming {!Builder} is tested against. *)
 val pack : t -> packed
+
+(** Streaming trace builder: growable unboxed slabs (same five-slab layout
+    as {!packed}, amortized doubling) that {!Hscd_lang.Eval} hooks append
+    into directly. The per-event path is free of minor-heap allocation:
+    array ids are interned through a one-entry memo, marks convert from
+    AST codes without an intermediate variant, and compute work coalesces
+    into a pending counter exactly as {!of_program} does. *)
+module Builder : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+
+  (** Seed the interner from the address map (canonical layout-order ids).
+      Must run before the first emit; {!hooks} wires it to [on_init]. *)
+  val init : t -> Hscd_lang.Shape.layout -> unit
+
+  (** Eval hooks that stream events straight into the slabs. *)
+  val hooks : t -> Hscd_lang.Eval.hooks
+
+  (** Close the builder into a packed trace. Slabs keep their grown
+      capacity (only [n_slots] entries are live). [total_events] overrides
+      the builder's own count when re-packing a trace whose bookkeeping
+      differs (e.g. corpus traces loaded by {!Trace_io.load}). *)
+  val finish : ?total_events:int -> t -> golden:int array -> packed
+end
+
+(** Generate the packed trace directly — instrumented interpreter with
+    {!Builder} hooks, no boxed [t] ever materialized. Replay results are
+    bit-identical to [pack (of_program p)]. *)
+val of_program_packed :
+  ?check_races:bool -> ?line_words:int -> Hscd_lang.Ast.program -> packed
+
+(** Stream an existing boxed trace through the builder; slot-for-slot
+    identical to {!pack}. *)
+val pack_streaming : t -> packed
+
+(** Reconstruct the boxed form (exact inverse of {!pack}), for text
+    serialization and differential tests. *)
+val unpack : packed -> t
 
 (** At least 1, for allocating scheme memory images. *)
 val packed_memory_words : packed -> int
 
-(** Approximate live heap words of the packed slabs, for footprint
-    reporting. *)
+(** Approximate live heap words of the packed slabs (counts capacity,
+    including builder growth headroom), for footprint reporting. *)
 val packed_slab_words : packed -> int
+
+val packed_n_epochs : packed -> int
+val packed_n_parallel_epochs : packed -> int
+
+(** (reads, writes) over the live slots, without unpacking. *)
+val packed_access_counts : packed -> int * int
 
 val n_epochs : t -> int
 val n_parallel_epochs : t -> int

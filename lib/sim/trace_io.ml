@@ -188,3 +188,310 @@ let load path : Trace.t =
 let equal (a : Trace.t) (b : Trace.t) =
   a.epochs = b.epochs && a.golden_memory = b.golden_memory
   && a.layout.Shape.total_words = b.layout.Shape.total_words
+
+(* ------------------------------------------------------------------ *)
+(* Binary trace format v2: direct dumps of the packed slabs.           *)
+(*                                                                     *)
+(* Layout (all ints 8-byte little-endian two's complement):            *)
+(*   magic "HSCDTRC2"                                                  *)
+(*   total_words, n_arrays, then per array: name, base, n_dims, dims   *)
+(*   golden_len, n_nonzero, then (index, value) pairs                  *)
+(*   n_symbols, then names in id order                                 *)
+(*   rmark_max_code                                                    *)
+(*   total_events, n_slots, max_tickets                                *)
+(*   n_epochs, then per epoch: kind (0 serial | 1 lo hi), n_tickets,   *)
+(*     n_tasks, then per task: iter off len ticket0 n_locks            *)
+(*   five slabs, live slots only: ops addrs values marks arrs          *)
+(*   checksum (avalanche mix folded over every value above)            *)
+(* ------------------------------------------------------------------ *)
+
+let binary_magic = "HSCDTRC2"
+
+(* order-sensitive avalanche fold — a single flipped bit anywhere in the
+   stream avalanches through the final sum *)
+let mix h v =
+  let h = (h lxor v) * 0x9E3779B1 in
+  (h lxor (h lsr 27)) * 0x85EBCA77
+
+let corrupt what = failwith ("Trace_io: corrupt binary trace (" ^ what ^ ")")
+
+type bin_writer = { oc : out_channel; wscratch : Bytes.t; mutable wsum : int }
+
+let put_int w v =
+  Bytes.set_int64_le w.wscratch 0 (Int64.of_int v);
+  output_bytes w.oc w.wscratch;
+  w.wsum <- mix w.wsum v
+
+let put_str w s =
+  put_int w (String.length s);
+  output_string w.oc s;
+  String.iter (fun c -> w.wsum <- mix w.wsum (Char.code c)) s
+
+let write_packed_channel oc (p : Trace.packed) =
+  output_string oc binary_magic;
+  let w = { oc; wscratch = Bytes.create 8; wsum = 0 } in
+  (* address map *)
+  put_int w p.Trace.p_layout.Shape.total_words;
+  let arrays = Shape.arrays_in_order p.Trace.p_layout in
+  put_int w (List.length arrays);
+  List.iter
+    (fun (a : Shape.t) ->
+      put_str w a.name;
+      put_int w a.base;
+      put_int w (List.length a.dims);
+      List.iter (put_int w) a.dims)
+    arrays;
+  (* golden memory, sparse *)
+  let golden = p.Trace.p_golden in
+  put_int w (Array.length golden);
+  let nz = Array.fold_left (fun acc v -> if v <> 0 then acc + 1 else acc) 0 golden in
+  put_int w nz;
+  Array.iteri
+    (fun i v ->
+      if v <> 0 then begin
+        put_int w i;
+        put_int w v
+      end)
+    golden;
+  (* interner (id order) and the mark decode table's extent *)
+  let names = Hscd_util.Symtab.names p.Trace.symtab in
+  put_int w (Array.length names);
+  Array.iter (put_str w) names;
+  put_int w (Array.length p.Trace.rmark_table - 1);
+  (* scalars *)
+  put_int w p.Trace.p_total_events;
+  put_int w p.Trace.n_slots;
+  put_int w p.Trace.p_max_tickets;
+  (* epoch / task descriptors *)
+  put_int w (Array.length p.Trace.p_epochs);
+  Array.iter
+    (fun (e : Trace.pepoch) ->
+      (match e.p_kind with
+      | Trace.Serial -> put_int w 0
+      | Trace.Parallel { lo; hi } ->
+        put_int w 1;
+        put_int w lo;
+        put_int w hi);
+      put_int w e.p_n_tickets;
+      put_int w (Array.length e.p_tasks);
+      Array.iter
+        (fun (t : Trace.ptask) ->
+          put_int w t.p_iter;
+          put_int w t.off;
+          put_int w t.len;
+          put_int w t.ticket0;
+          put_int w t.n_locks)
+        e.p_tasks)
+    p.Trace.p_epochs;
+  (* slabs — live slots only (builder-grown capacity is not persisted) *)
+  let n = p.Trace.n_slots in
+  let dump a =
+    for i = 0 to n - 1 do
+      put_int w a.(i)
+    done
+  in
+  dump p.Trace.ops;
+  dump p.Trace.addrs;
+  dump p.Trace.values;
+  dump p.Trace.marks;
+  dump p.Trace.arrs;
+  (* trailing checksum, written raw (not folded into itself) *)
+  Bytes.set_int64_le w.wscratch 0 (Int64.of_int w.wsum);
+  output_bytes oc w.wscratch
+
+let write_packed path p =
+  let oc = open_out_bin path in
+  (try write_packed_channel oc p
+   with exn ->
+     close_out_noerr oc;
+     raise exn);
+  close_out oc
+
+type bin_reader = { ic : in_channel; rscratch : Bytes.t; mutable rsum : int }
+
+let get_raw_int r =
+  (try really_input r.ic r.rscratch 0 8 with End_of_file -> corrupt "truncated");
+  Int64.to_int (Bytes.get_int64_le r.rscratch 0)
+
+let get_int r =
+  let v = get_raw_int r in
+  r.rsum <- mix r.rsum v;
+  v
+
+let get_count r what =
+  let v = get_int r in
+  if v < 0 then corrupt what;
+  v
+
+let get_str r =
+  let n = get_count r "string length" in
+  let b = Bytes.create n in
+  (try really_input r.ic b 0 n with End_of_file -> corrupt "truncated");
+  let s = Bytes.unsafe_to_string b in
+  String.iter (fun c -> r.rsum <- mix r.rsum (Char.code c)) s;
+  s
+
+(* explicit in-order loop: the reader is effectful, so Array.init /
+   List.init (unspecified application order) must not drive it *)
+let read_seq n f =
+  let rec go n acc = if n = 0 then List.rev acc else go (n - 1) (f () :: acc) in
+  go n []
+
+let read_packed_channel ic : Trace.packed =
+  let magic = Bytes.create (String.length binary_magic) in
+  (try really_input ic magic 0 (Bytes.length magic)
+   with End_of_file -> failwith "Trace_io: not a binary trace (short file)");
+  if Bytes.to_string magic <> binary_magic then
+    failwith "Trace_io: not a binary trace (bad magic)";
+  let r = { ic; rscratch = Bytes.create 8; rsum = 0 } in
+  let total_words = get_count r "total_words" in
+  let n_arrays = get_count r "array count" in
+  let array_list =
+    read_seq n_arrays (fun () ->
+        let name = get_str r in
+        let base = get_int r in
+        let n_dims = get_count r "dim count" in
+        let dims = read_seq n_dims (fun () -> get_int r) in
+        (name, base, dims))
+  in
+  let arrays = Hashtbl.create 16 in
+  List.iter
+    (fun (name, base, dims) ->
+      Hashtbl.replace arrays name { Shape.name; dims; size = Shape.size_of_dims dims; base })
+    array_list;
+  let layout = { Shape.arrays; total_words } in
+  let golden_len = get_count r "golden length" in
+  let golden = Array.make golden_len 0 in
+  let nz = get_count r "golden nonzeros" in
+  for _ = 1 to nz do
+    let i = get_int r in
+    let v = get_int r in
+    if i < 0 || i >= golden_len then corrupt "golden index";
+    golden.(i) <- v
+  done;
+  let n_syms = get_count r "symbol count" in
+  let names = read_seq n_syms (fun () -> get_str r) in
+  let symtab = Hscd_util.Symtab.of_names names in
+  let max_code = get_count r "rmark max code" in
+  let rmark_table = Event.Code.rmark_table ~max_code in
+  let p_total_events = get_count r "total events" in
+  let n_slots = get_count r "slot count" in
+  let p_max_tickets = get_count r "max tickets" in
+  let n_epochs = get_count r "epoch count" in
+  let epoch_list =
+    read_seq n_epochs (fun () ->
+        let p_kind =
+          match get_int r with
+          | 0 -> Trace.Serial
+          | 1 ->
+            let lo = get_int r in
+            let hi = get_int r in
+            Trace.Parallel { lo; hi }
+          | _ -> corrupt "epoch kind"
+        in
+        let p_n_tickets = get_int r in
+        let n_tasks = get_count r "task count" in
+        let task_list =
+          read_seq n_tasks (fun () ->
+              let p_iter = get_int r in
+              let off = get_int r in
+              let len = get_int r in
+              let ticket0 = get_int r in
+              let n_locks = get_int r in
+              if off < 0 || len < 0 || off + len > n_slots then corrupt "task bounds";
+              { Trace.p_iter; off; len; ticket0; n_locks })
+        in
+        { Trace.p_kind; p_tasks = Array.of_list task_list; p_n_tickets })
+  in
+  let p_epochs = Array.of_list epoch_list in
+  (* slabs at [pack]'s canonical capacity *)
+  let slab () =
+    let a = Array.make (max 1 n_slots) 0 in
+    for i = 0 to n_slots - 1 do
+      a.(i) <- get_int r
+    done;
+    a
+  in
+  let ops = slab () in
+  let addrs = slab () in
+  let values = slab () in
+  let marks = slab () in
+  let arrs = slab () in
+  for i = 0 to n_slots - 1 do
+    let op = ops.(i) in
+    if op < Event.Code.compute || op > Event.Code.unlock then corrupt "opcode";
+    if (op = Event.Code.read || op = Event.Code.write) && (arrs.(i) < 0 || arrs.(i) >= n_syms)
+    then corrupt "array id";
+    if op = Event.Code.read && (marks.(i) < 0 || marks.(i) > max_code) then corrupt "mark code"
+  done;
+  let sum = r.rsum in
+  if get_raw_int r <> sum then corrupt "checksum mismatch";
+  {
+    Trace.ops;
+    addrs;
+    values;
+    marks;
+    arrs;
+    p_epochs;
+    symtab;
+    rmark_table;
+    p_layout = layout;
+    p_golden = golden;
+    p_total_events;
+    n_slots;
+    p_max_tickets;
+  }
+
+(** Load a binary packed trace, validating structure and checksum; raises
+    [Failure] on anything truncated, corrupt, or not in the format. *)
+let read_packed path =
+  let ic = open_in_bin path in
+  let p =
+    try read_packed_channel ic
+    with exn ->
+      close_in_noerr ic;
+      raise exn
+  in
+  close_in ic;
+  p
+
+(** Cheap sniff: does [path] start with the binary magic? (Lets the CLI
+    auto-detect binary vs. text traces.) *)
+let is_binary path =
+  let ic = open_in_bin path in
+  let b = Bytes.create (String.length binary_magic) in
+  let ok =
+    try
+      really_input ic b 0 (Bytes.length b);
+      Bytes.to_string b = binary_magic
+    with End_of_file -> false
+  in
+  close_in_noerr ic;
+  ok
+
+(** Structural equality of packed traces over their *logical* content:
+    live slab prefixes (capacities may differ between [pack] and a grown
+    {!Trace.Builder}), descriptors, interner contents, marks table,
+    address map, and golden memory. *)
+let equal_packed (a : Trace.packed) (b : Trace.packed) =
+  let n = a.Trace.n_slots in
+  let prefix_equal (x : int array) (y : int array) =
+    Array.length x >= n && Array.length y >= n
+    &&
+    let rec go i = i >= n || (x.(i) = y.(i) && go (i + 1)) in
+    go 0
+  in
+  n = b.Trace.n_slots
+  && a.Trace.p_total_events = b.Trace.p_total_events
+  && a.Trace.p_max_tickets = b.Trace.p_max_tickets
+  && a.Trace.p_epochs = b.Trace.p_epochs
+  && a.Trace.rmark_table = b.Trace.rmark_table
+  && Hscd_util.Symtab.names a.Trace.symtab = Hscd_util.Symtab.names b.Trace.symtab
+  && a.Trace.p_golden = b.Trace.p_golden
+  && a.Trace.p_layout.Shape.total_words = b.Trace.p_layout.Shape.total_words
+  && Shape.arrays_in_order a.Trace.p_layout = Shape.arrays_in_order b.Trace.p_layout
+  && prefix_equal a.Trace.ops b.Trace.ops
+  && prefix_equal a.Trace.addrs b.Trace.addrs
+  && prefix_equal a.Trace.values b.Trace.values
+  && prefix_equal a.Trace.marks b.Trace.marks
+  && prefix_equal a.Trace.arrs b.Trace.arrs

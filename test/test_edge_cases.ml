@@ -15,7 +15,7 @@ let test_empty_program () =
   (* no arrays, no statements: compiles and simulates to ~nothing *)
   let p = B.program [] [ B.proc "main" [] [] ] in
   let c, results = Run.compare p in
-  Alcotest.(check int) "one serial epoch" 1 (Trace.n_epochs c.trace);
+  Alcotest.(check int) "one serial epoch" 1 (Trace.packed_n_epochs c.packed_trace);
   List.iter
     (fun (r : Run.comparison) ->
       Alcotest.(check int) "no accesses" 0 (Metrics.accesses r.result.metrics);
@@ -31,8 +31,8 @@ let test_empty_doall () =
   (* lo > hi: zero tasks, but still an epoch boundary *)
   let p = B.simple [ B.array "a" [ 4 ] ] [ B.doall "i" (B.int 3) (B.int 1) [ B.s1 "a" (B.var "i") (B.int 9) ] ] in
   let c = Run.compile p in
-  Alcotest.(check int) "three epochs" 3 (Trace.n_epochs c.trace);
-  let r = Run.simulate Run.TPI c.trace in
+  Alcotest.(check int) "three epochs" 3 (Trace.packed_n_epochs c.packed_trace);
+  let r = Run.simulate_packed Run.TPI c.packed_trace in
   Alcotest.(check bool) "simulates fine" true r.memory_ok
 
 let test_one_processor () =

@@ -30,9 +30,9 @@ let test_base_miss_rate_is_total () =
 
 let test_trace_shape () =
   let c = Run.compile ~cfg:cfg4 stencil in
-  Alcotest.(check int) "epochs" (2 * 3 * 2 + 3) (Trace.n_epochs c.trace);
-  Alcotest.(check int) "parallel epochs" 7 (Trace.n_parallel_epochs c.trace);
-  let reads, writes = Trace.access_counts c.trace in
+  Alcotest.(check int) "epochs" (2 * 3 * 2 + 3) (Trace.packed_n_epochs c.packed_trace);
+  Alcotest.(check int) "parallel epochs" 7 (Trace.packed_n_parallel_epochs c.packed_trace);
+  let reads, writes = Trace.packed_access_counts c.packed_trace in
   Alcotest.(check bool) "counts positive" true (reads > 0 && writes > 0)
 
 let test_unsafe_mark_is_caught () =
@@ -121,10 +121,11 @@ let test_locks_serialize () =
 
 let test_barrier_accounting () =
   let c = Run.compile ~cfg:cfg4 stencil in
-  let r = Run.simulate ~cfg:cfg4 Run.TPI c.trace in
-  Alcotest.(check int) "one barrier per epoch" (Trace.n_epochs c.trace) r.metrics.barriers;
+  let r = Run.simulate_packed ~cfg:cfg4 Run.TPI c.packed_trace in
+  let epochs = Trace.packed_n_epochs c.packed_trace in
+  Alcotest.(check int) "one barrier per epoch" epochs r.metrics.barriers;
   Alcotest.(check bool) "cycles at least barrier cost" true
-    (r.cycles >= Trace.n_epochs c.trace * cfg4.barrier_cycles)
+    (r.cycles >= epochs * cfg4.barrier_cycles)
 
 let test_more_processors_not_slower () =
   let run p_count =

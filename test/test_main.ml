@@ -21,6 +21,7 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("workloads", Test_workloads.suite);
+      ("compile-cache", Test_compile_cache.suite);
       ("experiments", Test_experiments.suite);
       ("core", [ Alcotest.test_case "facade placeholder" `Quick (fun () -> Core.placeholder ()) ]);
     ]

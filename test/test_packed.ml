@@ -54,7 +54,8 @@ let test_symtab_unknown () =
 let test_pack_structure () =
   let c = Run.compile (Kernels.jacobi1d ~n:64 ~iters:2 ()) in
   let p = c.Run.packed_trace in
-  Alcotest.(check int) "event count preserved" c.Run.trace.Trace.total_events p.Trace.p_total_events;
+  let boxed = Run.boxed_trace c in
+  Alcotest.(check int) "event count preserved" boxed.Trace.total_events p.Trace.p_total_events;
   Alcotest.(check bool) "slots cover events" true (p.Trace.n_slots >= p.Trace.p_total_events);
   Alcotest.(check int) "parallel slabs same length" (Array.length p.Trace.ops)
     (Array.length p.Trace.addrs);
@@ -65,7 +66,7 @@ let test_pack_structure () =
   Alcotest.(check int) "array-id slab same length" (Array.length p.Trace.ops)
     (Array.length p.Trace.arrs);
   Alcotest.(check int) "epoch count preserved"
-    (Array.length c.Run.trace.Trace.epochs)
+    (Array.length boxed.Trace.epochs)
     (Array.length p.Trace.p_epochs);
   (* the interner is seeded with the layout's arrays in declaration order,
      so ids index layout-ordered per-array tables densely *)
@@ -73,7 +74,7 @@ let test_pack_structure () =
     (fun i (a : Hscd_lang.Shape.t) ->
       Alcotest.(check int) ("layout id of " ^ a.Hscd_lang.Shape.name) i
         (Symtab.id p.Trace.symtab a.Hscd_lang.Shape.name))
-    (Hscd_lang.Shape.arrays_in_order c.Run.trace.Trace.layout)
+    (Hscd_lang.Shape.arrays_in_order p.Trace.p_layout)
 
 (* ---------- packed ≡ boxed, bit for bit ---------- *)
 
@@ -87,9 +88,23 @@ let check_equivalence ?(cfg = Config.default) name trace packed =
         true (rp = rb))
     Run.extended_schemes
 
+(* the boxed trace is regenerated independently through the legacy path,
+   so this differentially covers the streaming builder end to end: the
+   interpreter's hook stream packed live vs. boxed events packed after *)
 let equiv_program ?(cfg = Config.default) name program =
-  let c = Run.compile ~cfg program in
-  check_equivalence ~cfg name c.Run.trace c.Run.packed_trace
+  let c = Run.compile ~cfg ~cache:false program in
+  let boxed =
+    Trace.of_program ~line_words:cfg.Config.line_words c.Run.marked
+  in
+  Alcotest.(check bool)
+    (name ^ ": streaming = boxed-then-pack, structurally")
+    true
+    (Trace_io.equal_packed (Trace.pack boxed) c.Run.packed_trace);
+  Alcotest.(check bool)
+    (name ^ ": unpack round-trips")
+    true
+    (Trace_io.equal (Trace.unpack c.Run.packed_trace) boxed);
+  check_equivalence ~cfg name boxed c.Run.packed_trace
 
 let test_equiv_stencil () = equiv_program "jacobi1d" (Kernels.jacobi1d ~n:64 ~iters:3 ())
 
@@ -109,7 +124,7 @@ let test_equiv_many_processors () =
   let cfg = { Config.default with processors = 32 } in
   equiv_program ~cfg "boundary@32" (Kernels.boundary_exchange ~n:128 ~iters:2 ())
 
-let test_equiv_corpus () =
+let corpus_files () =
   (* cwd is test/ under `dune runtest`, the workspace root under `dune exec` *)
   let dir = if Sys.file_exists "corpus" then "corpus" else Filename.concat "test" "corpus" in
   let files =
@@ -118,11 +133,40 @@ let test_equiv_corpus () =
     |> List.sort compare
   in
   Alcotest.(check bool) "corpus present" true (files <> []);
+  List.map (fun f -> (f, Trace_io.load (Filename.concat dir f))) files
+
+let test_equiv_corpus () =
+  List.iter (fun (f, trace) -> check_equivalence f trace (Trace.pack trace)) (corpus_files ())
+
+(* ---------- streaming builder ≡ pack, slot for slot ---------- *)
+
+let test_streaming_pack_corpus () =
+  (* corpus traces follow Trace_io.load's bookkeeping (locks excluded from
+     total_events) — pack_streaming must preserve that too *)
   List.iter
-    (fun f ->
-      let trace = Trace_io.load (Filename.concat dir f) in
-      check_equivalence f trace (Trace.pack trace))
-    files
+    (fun (f, trace) ->
+      let reference = Trace.pack trace in
+      let streamed = Trace.pack_streaming trace in
+      Alcotest.(check bool) (f ^ ": pack_streaming = pack") true
+        (Trace_io.equal_packed reference streamed);
+      Alcotest.(check int) (f ^ ": total_events preserved") reference.Trace.p_total_events
+        streamed.Trace.p_total_events;
+      Alcotest.(check bool) (f ^ ": unpack round-trips") true
+        (Trace_io.equal (Trace.unpack streamed) trace))
+    (corpus_files ())
+
+let test_streaming_perfect_models () =
+  (* the acceptance bar: every Perfect Club model (test scale), streamed
+     generation vs. independent boxed generation, every scheme bit-identical *)
+  List.iter
+    (fun (e : Hscd_workloads.Perfect.entry) -> equiv_program e.name (e.build_small ()))
+    Hscd_workloads.Perfect.all
+
+let test_builder_requires_init () =
+  let b = Trace.Builder.create () in
+  (match Trace.Builder.finish b ~golden:[||] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument from finish before init")
 
 let suite =
   [
@@ -137,4 +181,7 @@ let suite =
     Alcotest.test_case "packed=boxed: dynamic + migration" `Quick test_equiv_dynamic_migration;
     Alcotest.test_case "packed=boxed: 32 processors" `Quick test_equiv_many_processors;
     Alcotest.test_case "packed=boxed: fuzz corpus" `Quick test_equiv_corpus;
+    Alcotest.test_case "streaming=pack: fuzz corpus" `Quick test_streaming_pack_corpus;
+    Alcotest.test_case "streaming=boxed: Perfect Club models" `Slow test_streaming_perfect_models;
+    Alcotest.test_case "builder: finish before init rejected" `Quick test_builder_requires_init;
   ]

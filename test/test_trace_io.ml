@@ -10,29 +10,32 @@ let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name
 
 let test_roundtrip_stencil () =
   let c = Run.compile (Hscd_workloads.Kernels.jacobi1d ~n:32 ~iters:2 ()) in
+  let boxed = Run.boxed_trace c in
   let path = tmp "hscd_trace_stencil.txt" in
-  Trace_io.save path c.Run.trace;
+  Trace_io.save path boxed;
   let loaded = Trace_io.load path in
   Sys.remove path;
-  Alcotest.(check bool) "round-trip equal" true (Trace_io.equal c.Run.trace loaded);
-  Alcotest.(check int) "events preserved" c.Run.trace.Trace.total_events loaded.Trace.total_events
+  Alcotest.(check bool) "round-trip equal" true (Trace_io.equal boxed loaded);
+  Alcotest.(check int) "events preserved" boxed.Trace.total_events loaded.Trace.total_events
 
 let test_roundtrip_critical () =
   (* locks and bypass marks must survive serialization *)
   let c = Run.compile (Hscd_workloads.Kernels.reduction ~n:16 ()) in
+  let boxed = Run.boxed_trace c in
   let path = tmp "hscd_trace_crit.txt" in
-  Trace_io.save path c.Run.trace;
+  Trace_io.save path boxed;
   let loaded = Trace_io.load path in
   Sys.remove path;
-  Alcotest.(check bool) "round-trip equal" true (Trace_io.equal c.Run.trace loaded)
+  Alcotest.(check bool) "round-trip equal" true (Trace_io.equal boxed loaded)
 
 let test_replay_equivalence () =
   let c = Run.compile (Hscd_workloads.Kernels.matmul ~n:10 ()) in
+  let boxed = Run.boxed_trace c in
   let path = tmp "hscd_trace_mm.txt" in
-  Trace_io.save path c.Run.trace;
+  Trace_io.save path boxed;
   let loaded = Trace_io.load path in
   Sys.remove path;
-  let a = Run.simulate Run.TPI c.Run.trace in
+  let a = Run.simulate Run.TPI boxed in
   let b = Run.simulate Run.TPI loaded in
   Alcotest.(check int) "same cycles" a.cycles b.cycles;
   Alcotest.(check (float 1e-12)) "same miss rate"
@@ -126,6 +129,97 @@ let test_roundtrip_degenerate () =
       Alcotest.(check bool) (name ^ " round-trips") true (Trace_io.equal trace loaded))
     [ ("empty", empty); ("single", single) ]
 
+(* ---------- binary format v2 ---------- *)
+
+let binary_roundtrip name packed =
+  let path = tmp ("hscd_bin_" ^ name ^ ".hscdtrc") in
+  Trace_io.write_packed path packed;
+  let loaded = Trace_io.read_packed path in
+  Alcotest.(check bool) (name ^ " sniffed as binary") true (Trace_io.is_binary path);
+  Sys.remove path;
+  Alcotest.(check bool) (name ^ " binary round-trip exact") true
+    (Trace_io.equal_packed packed loaded)
+
+let test_binary_roundtrip_kernels () =
+  List.iter
+    (fun (name, prog) ->
+      let c = Run.compile ~cache:false prog in
+      binary_roundtrip name c.Run.packed_trace)
+    [
+      ("jacobi", Hscd_workloads.Kernels.jacobi1d ~n:32 ~iters:2 ());
+      ("reduction", Hscd_workloads.Kernels.reduction ~n:16 ());
+      ("matmul", Hscd_workloads.Kernels.matmul ~n:8 ());
+    ]
+
+let test_binary_roundtrip_perfect () =
+  (* all six Perfect Club models at test scale *)
+  List.iter
+    (fun (e : Hscd_workloads.Perfect.entry) ->
+      let c = Run.compile ~cache:false (e.build_small ()) in
+      binary_roundtrip e.name c.Run.packed_trace)
+    Hscd_workloads.Perfect.all
+
+let test_binary_roundtrip_generated () =
+  (* property: read_packed (write_packed p) = p over fuzz traces, which
+     cover every mark, lock sections and both epoch kinds *)
+  for seed = 0 to 11 do
+    let prng = Hscd_util.Prng.of_int seed in
+    let params = Hscd_check.Gen.random_params prng in
+    let trace = Hscd_check.Gen.generate prng params in
+    binary_roundtrip (Printf.sprintf "gen%d" seed) (Trace.pack trace)
+  done
+
+let test_binary_replay_equivalence () =
+  (* a trace written to disk and read back replays bit-identically *)
+  let c = Run.compile ~cache:false (Hscd_workloads.Kernels.matmul ~n:10 ()) in
+  let path = tmp "hscd_bin_replay.hscdtrc" in
+  Trace_io.write_packed path c.Run.packed_trace;
+  let loaded = Trace_io.read_packed path in
+  Sys.remove path;
+  List.iter
+    (fun kind ->
+      Alcotest.(check bool)
+        (Run.scheme_name kind ^ " identical after reload")
+        true
+        (Run.simulate_packed kind loaded = Run.simulate_packed kind c.Run.packed_trace))
+    [ Run.Base; Run.TPI; Run.HW ]
+
+let expect_failure name f =
+  match f () with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail ("expected Failure: " ^ name)
+
+let test_binary_rejects_corruption () =
+  let c = Run.compile ~cache:false (Hscd_workloads.Kernels.jacobi1d ~n:16 ~iters:1 ()) in
+  let path = tmp "hscd_bin_corrupt.hscdtrc" in
+  Trace_io.write_packed path c.Run.packed_trace;
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  let write_variant s =
+    let oc = open_out_bin path in
+    output_string oc s;
+    close_out oc
+  in
+  (* truncation: drop the checksum and a little more *)
+  write_variant (String.sub content 0 (len - 12));
+  expect_failure "truncated" (fun () -> Trace_io.read_packed path);
+  (* single byte flipped mid-file: checksum must catch it *)
+  let flipped = Bytes.of_string content in
+  let pos = len / 2 in
+  Bytes.set flipped pos (Char.chr (Char.code (Bytes.get flipped pos) lxor 0x40));
+  write_variant (Bytes.to_string flipped);
+  expect_failure "bit flip" (fun () -> Trace_io.read_packed path);
+  (* wrong magic *)
+  write_variant ("XXXXXXXX" ^ String.sub content 8 (len - 8));
+  expect_failure "bad magic" (fun () -> Trace_io.read_packed path);
+  Alcotest.(check bool) "bad magic not sniffed as binary" false (Trace_io.is_binary path);
+  (* short file *)
+  write_variant "HS";
+  expect_failure "short file" (fun () -> Trace_io.read_packed path);
+  Sys.remove path
+
 let suite =
   [
     Alcotest.test_case "round-trip stencil" `Quick test_roundtrip_stencil;
@@ -135,4 +229,10 @@ let suite =
     Alcotest.test_case "replay equivalence" `Quick test_replay_equivalence;
     Alcotest.test_case "bad input rejected" `Quick test_bad_input_rejected;
     Alcotest.test_case "mark strings" `Quick test_mark_strings;
+    Alcotest.test_case "binary round-trip: kernels" `Quick test_binary_roundtrip_kernels;
+    Alcotest.test_case "binary round-trip: Perfect Club models" `Slow test_binary_roundtrip_perfect;
+    Alcotest.test_case "binary round-trip: generated fuzz traces" `Quick
+      test_binary_roundtrip_generated;
+    Alcotest.test_case "binary replay equivalence" `Quick test_binary_replay_equivalence;
+    Alcotest.test_case "binary rejects corruption" `Quick test_binary_rejects_corruption;
   ]

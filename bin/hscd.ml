@@ -10,6 +10,12 @@
     - [list]: available benchmarks and experiments. *)
 
 open Cmdliner
+module Err = Hscd_util.Hscd_error
+
+let known_programs () =
+  String.concat ", "
+    (List.map (fun (e : Hscd_workloads.Perfect.entry) -> e.name) Hscd_workloads.Perfect.all
+    @ List.map fst Hscd_workloads.Kernels.all)
 
 let read_program name =
   match Hscd_workloads.Perfect.find name with
@@ -24,7 +30,9 @@ let read_program name =
         let s = really_input_string ic n in
         close_in ic;
         Hscd_lang.Parser.parse_exn s
-      else failwith (Printf.sprintf "%s: not a benchmark, kernel or file" name))
+      else
+        Err.fail Err.Usage "%s: not a benchmark, kernel or file (known: %s)" name
+          (known_programs ()))
 
 let program_arg =
   Arg.(required & pos 0 (some string) None
@@ -68,6 +76,28 @@ let resolve_jobs = function
   | Some n when n > 0 -> n
   | Some _ -> 1
   | None -> Hscd_util.Pool.default_jobs ()
+
+(* --resume FILE: checkpoint journal for supervised sweeps. Completed
+   cells are appended as they finish; rerunning with the same file skips
+   them bit-identically (after a crash, ^C or timeout). *)
+let resume_arg =
+  Arg.(value & opt (some string) None
+       & info [ "resume"; "checkpoint" ] ~docv:"FILE"
+           ~doc:"Journal completed cells to $(docv) and resume from it: a rerun skips \
+                 already-completed work bit-identically, even after a crash or kill")
+
+let retries_arg =
+  Arg.(value & opt int Hscd_util.Pool.default_policy.Hscd_util.Pool.retries
+       & info [ "retries" ] ~doc:"Retry budget per simulation cell (transient failures)")
+
+let timeout_arg =
+  Arg.(value & opt (some float) None
+       & info [ "task-timeout" ] ~docv:"SECS"
+           ~doc:"Per-cell deadline in seconds; a cell past it is abandoned and retried \
+                 on a fresh worker")
+
+let policy_of retries deadline =
+  { Hscd_util.Pool.default_policy with Hscd_util.Pool.retries; deadline }
 
 let cfg_of processors line_words timetag_bits =
   { Hscd_arch.Config.default with processors; line_words; timetag_bits }
@@ -115,12 +145,13 @@ let sim_cmd =
     Term.(const run $ program_arg $ scheme_arg $ procs_arg $ line_arg $ tag_arg)
 
 let compare_cmd =
-  let run name procs line tag jobs =
+  let run name procs line tag jobs resume retries timeout =
     let cfg = cfg_of procs line tag in
     let prog = read_program name in
     let c, results =
-      Hscd_sim.Run.compare ~cfg ~schemes:Hscd_sim.Run.extended_schemes
-        ~jobs:(resolve_jobs jobs) prog
+      Err.get_exn
+        (Hscd_sim.Run.compare_result ~cfg ~schemes:Hscd_sim.Run.extended_schemes
+           ~jobs:(resolve_jobs jobs) ~policy:(policy_of retries timeout) ?checkpoint:resume prog)
     in
     Printf.printf "epochs %d, events %d\n"
       (Hscd_sim.Trace.packed_n_epochs c.packed_trace)
@@ -128,11 +159,20 @@ let compare_cmd =
     List.iter (fun (r : Hscd_sim.Run.comparison) -> print_metrics r.kind r.result) results
   in
   Cmd.v (Cmd.info "compare" ~doc:"Compare all schemes on the same trace")
-    Term.(const run $ program_arg $ procs_arg $ line_arg $ tag_arg $ jobs_arg)
+    Term.(const run $ program_arg $ procs_arg $ line_arg $ tag_arg $ jobs_arg $ resume_arg
+          $ retries_arg $ timeout_arg)
 
 let experiment_cmd =
-  let run id small jobs =
+  let run id small jobs resume retries timeout =
     let jobs = resolve_jobs jobs in
+    (* --resume (or a non-default policy) switches every run_all onto the
+       supervised pool; cell keys embed the config, so one journal file
+       serves the whole 'all' sweep *)
+    if resume <> None || timeout <> None
+       || retries <> Hscd_util.Pool.default_policy.Hscd_util.Pool.retries
+    then
+      Hscd_experiments.Common.set_supervision ~policy:(policy_of retries timeout)
+        ?checkpoint:resume ();
     match id with
     | "all" ->
       List.iter
@@ -142,13 +182,16 @@ let experiment_cmd =
       match Hscd_experiments.Experiments.find id with
       | Some e -> Hscd_experiments.Experiments.run_and_print ~small ~jobs e
       | None ->
-        Printf.eprintf "unknown experiment %s; try 'hscd list'\n" id;
-        exit 1)
+        Err.fail Err.Usage "unknown experiment %s (known: all, %s)" id
+          (String.concat ", "
+             (List.map
+                (fun (e : Hscd_experiments.Experiments.t) -> e.id)
+                Hscd_experiments.Experiments.all)))
   in
   let id_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID") in
   let small_arg = Arg.(value & flag & info [ "small" ] ~doc:"Use test-scale benchmark sizes") in
   Cmd.v (Cmd.info "experiment" ~doc:"Regenerate a paper table/figure (or 'all')")
-    Term.(const run $ id_arg $ small_arg $ jobs_arg)
+    Term.(const run $ id_arg $ small_arg $ jobs_arg $ resume_arg $ retries_arg $ timeout_arg)
 
 let trace_cmd =
   let run name out binary =
@@ -218,20 +261,15 @@ let fuzz_cmd =
       let paths = F.write_corpus ~dir in
       List.iter (fun p -> Printf.printf "wrote %s\n" p) paths
     | None, Some dir ->
-      if not (Sys.file_exists dir && Sys.is_directory dir) then begin
-        Printf.eprintf "%s: not a directory\n" dir;
-        exit 1
-      end;
+      if not (Sys.file_exists dir && Sys.is_directory dir) then
+        Err.fail Err.Usage "%s: not a directory" dir;
       let files =
         Sys.readdir dir |> Array.to_list
         |> List.filter (fun f -> Filename.check_suffix f ".trace")
         |> List.sort compare
         |> List.map (Filename.concat dir)
       in
-      if files = [] then begin
-        Printf.eprintf "no .trace files in %s\n" dir;
-        exit 1
-      end;
+      if files = [] then Err.fail Err.Usage "no .trace files in %s" dir;
       let bad = ref 0 in
       List.iter
         (fun (path, o) ->
@@ -241,7 +279,7 @@ let fuzz_cmd =
             Printf.printf "%-40s FAIL\n%s" path (Oracle.describe o)
           end)
         (F.replay_corpus ~jobs files);
-      if !bad > 0 then exit 1
+      if !bad > 0 then Err.fail Err.Check "%d corpus trace(s) failed the oracle" !bad
     | None, None ->
       let r = F.fuzz ~shrink:(not no_shrink) ~jobs ~seed ~count () in
       Printf.printf "fuzz: %d iterations, %d events, %d failure(s)\n" r.F.iterations
@@ -269,7 +307,8 @@ let fuzz_cmd =
             Printf.printf "  repro written to %s\n" path
           | None -> ())
         r.F.failures;
-      if r.F.failures <> [] then exit 1
+      if r.F.failures <> [] then
+        Err.fail Err.Check "fuzzing found %d failure(s)" (List.length r.F.failures)
   in
   let seed_arg = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Master PRNG seed") in
   let count_arg = Arg.(value & opt int 100 & info [ "count" ] ~doc:"Number of iterations") in
@@ -309,6 +348,36 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc:"List benchmarks, kernels and experiments") Term.(const run $ const ())
 
+(* Normalized exit codes: 0 success, 1 result failure (fuzz findings,
+   corrupt input, failed sweep), 2 usage error, 3 internal error. *)
 let () =
-  let info = Cmd.info "hscd" ~version:"1.0.0" ~doc:"HSCD cache coherence reproduction (Choi & Yew, ISCA'96)" in
-  exit (Cmd.eval (Cmd.group info [ mark_cmd; sim_cmd; compare_cmd; experiment_cmd; trace_cmd; replay_cmd; fuzz_cmd; list_cmd ]))
+  let man =
+    [
+      `S Manpage.s_exit_status;
+      `P "$(b,0) on success; $(b,1) on a result failure (the fuzzer found bugs, an input \
+          was corrupt, a sweep could not complete); $(b,2) on usage errors; $(b,3) on \
+          internal errors.";
+    ]
+  in
+  let info =
+    Cmd.info "hscd" ~version:"1.0.0" ~man
+      ~doc:"HSCD cache coherence reproduction (Choi & Yew, ISCA'96)"
+  in
+  let group =
+    Cmd.group info
+      [ mark_cmd; sim_cmd; compare_cmd; experiment_cmd; trace_cmd; replay_cmd; fuzz_cmd; list_cmd ]
+  in
+  let code =
+    match Cmd.eval_value ~catch:false group with
+    | Ok (`Ok ()) -> 0
+    | Ok `Help | Ok `Version -> 0
+    | Error (`Parse | `Term) -> 2 (* cmdliner already printed the usage message *)
+    | Error `Exn -> 3 (* unreachable with ~catch:false, kept for totality *)
+    | exception Err.Error e ->
+      Printf.eprintf "hscd: %s\n" (Err.to_string e);
+      Err.exit_code e
+    | exception exn ->
+      Printf.eprintf "hscd: internal error: %s\n" (Printexc.to_string exn);
+      3
+  in
+  exit code

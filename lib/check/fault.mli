@@ -11,3 +11,38 @@ val name : t -> string
 
 val wrap :
   t -> processors:int -> Hscd_coherence.Scheme.packed -> Hscd_coherence.Scheme.packed
+
+(** Chaos against the runner itself — worker crashes, hangs and artifact
+    corruption — for asserting that the supervised sweep converges
+    bit-identically to a fault-free run. *)
+module Chaos : sig
+  (** Raised by {!strike} for a cell scheduled to crash. *)
+  exception Injected of string
+
+  (** A deterministic chaos schedule, keyed by cell name. Thread-safe:
+      cells run on worker domains. *)
+  type plan
+
+  (** [crash_first]: cell → raise {!Injected} on its first [k] attempts
+      (the [k+1]-th succeeds). [hang_first]: cell → busy-wait up to that
+      many seconds on its first attempt, or until {!release}. *)
+  val plan :
+    ?crash_first:(string * int) list -> ?hang_first:(string * float) list -> unit -> plan
+
+  (** Call at the start of every attempt of [cell]; counts the attempt
+      and applies the schedule. *)
+  val strike : plan -> string -> unit
+
+  (** Attempts recorded so far for [cell]. *)
+  val attempts : plan -> string -> int
+
+  (** End all in-progress and future hangs (domains cannot be killed, so
+      abandoned hung workers exit through this). *)
+  val release : plan -> unit
+
+  (** Flip one bit of the byte at [byte] (mod file length). *)
+  val corrupt_file : string -> byte:int -> unit
+
+  (** Drop the last [drop] bytes (a kill mid-write). *)
+  val truncate_file : string -> drop:int -> unit
+end

@@ -52,7 +52,7 @@ let run ?(schemes = Run.all_schemes) ?fault ?jobs (cfg : Config.t) (trace : Trac
   let runs =
     (* one domain per scheme: every run builds its own network, traffic,
        scheme state and monitor, so the fan-out is bit-deterministic *)
-    Hscd_util.Pool.map ?jobs
+    Hscd_util.Pool.map_exn ?jobs
       (fun kind ->
         let network = Kruskal_snir.create cfg in
         let traffic = Traffic.create cfg in

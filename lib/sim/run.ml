@@ -9,6 +9,9 @@ module Marking = Hscd_compiler.Marking
 module Scheme = Hscd_coherence.Scheme
 module Kruskal_snir = Hscd_network.Kruskal_snir
 module Traffic = Hscd_network.Traffic
+module Err = Hscd_util.Hscd_error
+module Pool = Hscd_util.Pool
+module Journal = Hscd_util.Journal
 
 type scheme_kind = Base | SC | TPI | HW | LimitLESS | VC | INV
 
@@ -74,6 +77,11 @@ let boxed_trace (c : compiled) = Trace.unpack c.packed_trace
 type cache_stats = { trace_generations : int; memory_hits : int; disk_hits : int }
 
 let cache_table : (string, compiled) Hashtbl.t = Hashtbl.create 16
+
+(* Guards the table and the counters: [compile] may be called from pool
+   worker domains. Trace generation and disk I/O stay outside the lock —
+   concurrent same-key compiles may both generate, but never corrupt. *)
+let cache_mu = Mutex.create ()
 let n_generations = ref 0
 let n_memory_hits = ref 0
 let n_disk_hits = ref 0
@@ -82,13 +90,15 @@ let cache_dir = ref (Sys.getenv_opt "HSCD_COMPILE_CACHE")
 let set_compile_cache_dir d = cache_dir := d
 
 let compile_cache_stats () =
-  { trace_generations = !n_generations; memory_hits = !n_memory_hits; disk_hits = !n_disk_hits }
+  Mutex.protect cache_mu (fun () ->
+      { trace_generations = !n_generations; memory_hits = !n_memory_hits; disk_hits = !n_disk_hits })
 
 let reset_compile_cache () =
-  Hashtbl.reset cache_table;
-  n_generations := 0;
-  n_memory_hits := 0;
-  n_disk_hits := 0
+  Mutex.protect cache_mu (fun () ->
+      Hashtbl.reset cache_table;
+      n_generations := 0;
+      n_memory_hits := 0;
+      n_disk_hits := 0)
 
 (* Key: digest of the printed (sema-checked, pre-marking) program plus the
    knobs that reach the reference stream. Timing-side parameters
@@ -113,9 +123,14 @@ let disk_read key =
   | None -> None
   | Some dir ->
     let path = disk_path dir key in
-    if Sys.file_exists path then (try Some (Trace_io.read_packed path) with _ -> None) else None
+    (* a corrupt, truncated or unreadable entry is silently regenerated *)
+    if Sys.file_exists path then (try Some (Trace_io.read_packed path) with Err.Error _ -> None)
+    else None
 
-(* best-effort: a full disk or read-only dir must never fail a compile *)
+(* best-effort: a full disk or read-only dir must never fail a compile.
+   The tmp name is writer-unique (temp_file) so concurrent writers of the
+   same key never interleave into one file; the atomic rename means the
+   last complete write wins and readers only ever see whole entries. *)
 let disk_write key packed =
   match !cache_dir with
   | None -> ()
@@ -123,7 +138,7 @@ let disk_write key packed =
     try
       if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
       let path = disk_path dir key in
-      let tmp = path ^ ".tmp" in
+      let tmp = Filename.temp_file ~temp_dir:dir (key ^ ".") ".tmp" in
       Trace_io.write_packed tmp packed;
       Sys.rename tmp path
     with _ -> ())
@@ -136,19 +151,26 @@ let compile ?(cfg = Config.default) ?(intertask = true) ?(check_races = true) ?(
     (program : Ast.program) =
   let program = Sema.check_exn program in
   let key = if cache then Some (cache_key ~cfg ~intertask ~check_races program) else None in
-  match key with
-  | Some k when Hashtbl.mem cache_table k ->
-    incr n_memory_hits;
-    Hashtbl.find cache_table k
-  | _ ->
+  let hit =
+    match key with
+    | None -> None
+    | Some k ->
+      Mutex.protect cache_mu (fun () ->
+          let c = Hashtbl.find_opt cache_table k in
+          if Option.is_some c then incr n_memory_hits;
+          c)
+  in
+  match hit with
+  | Some c -> c
+  | None ->
     let m = Marking.mark_program ~static_sched:(Schedule.is_static cfg) ~intertask program in
     let packed_trace =
       match (match key with Some k -> disk_read k | None -> None) with
       | Some p ->
-        incr n_disk_hits;
+        Mutex.protect cache_mu (fun () -> incr n_disk_hits);
         p
       | None ->
-        incr n_generations;
+        Mutex.protect cache_mu (fun () -> incr n_generations);
         let p =
           Trace.of_program_packed ~check_races ~line_words:cfg.line_words m.Marking.program
         in
@@ -156,7 +178,7 @@ let compile ?(cfg = Config.default) ?(intertask = true) ?(check_races = true) ?(
         p
     in
     let c = { marked = m.Marking.program; census = m.Marking.census; packed_trace } in
-    (match key with Some k -> Hashtbl.replace cache_table k c | None -> ());
+    (match key with Some k -> Mutex.protect cache_mu (fun () -> Hashtbl.replace cache_table k c) | None -> ());
     c
 
 (** Back half: one scheme over a packed trace (the engine-native form —
@@ -193,9 +215,87 @@ let compare ?(cfg = Config.default) ?(schemes = all_schemes) ?(intertask = true)
     program =
   let c = compile ~cfg ~intertask ?cache program in
   ( c,
-    Hscd_util.Pool.map ?jobs
+    Pool.map_exn ?jobs
       (fun kind -> { kind; result = simulate_packed ~cfg kind c.packed_trace })
       schemes )
+
+(** {!compile} as a [result]: sema/parse failures come back typed (kind
+    [Parse]) instead of as exceptions. *)
+let compile_result ?cfg ?intertask ?check_races ?cache program =
+  Err.guard ~default:Err.Parse ~context:"compile" (fun () ->
+      compile ?cfg ?intertask ?check_races ?cache program)
+
+(* ------------------------------------------------------------------ *)
+(* Supervised comparison with checkpoint-resume. One journal record per *)
+(* (program, config, scheme) cell, appended the moment the cell's       *)
+(* simulation finishes — a crash or kill loses at most the in-flight    *)
+(* cells, and a rerun with the same [checkpoint] path resumes, reusing  *)
+(* completed cells bit-identically (the payload is the marshalled       *)
+(* [Engine.result]).                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let cell_key ~prefix ~prog_id ~cfg kind =
+  Printf.sprintf "%s|%s|%s|%s" prefix prog_id
+    (Digest.to_hex (Digest.string (Marshal.to_string (cfg : Config.t) [])))
+    (scheme_name kind)
+
+let decode_result payload =
+  match (Marshal.from_string payload 0 : Engine.result) with
+  | r -> Some r
+  | exception _ -> None
+
+(** Supervised {!compare}: each scheme is one supervised-pool task
+    (retried on transient failure per [policy]); with [checkpoint],
+    completed cells are journaled and a rerun resumes from them. On
+    [Error], every cell completed so far is already in the journal. *)
+let compare_result ?(cfg = Config.default) ?(schemes = all_schemes) ?(intertask = true) ?cache
+    ?jobs ?(policy = Pool.default_policy) ?checkpoint program =
+  match compile_result ~cfg ~intertask ?cache program with
+  | Error e -> Error e
+  | Ok c ->
+    let prog_id = Digest.to_hex (Digest.string (Hscd_lang.Printer.program_to_string c.marked)) in
+    let key kind = cell_key ~prefix:"compare" ~prog_id ~cfg kind in
+    let with_journal k =
+      match checkpoint with
+      | None -> k None []
+      | Some path -> (
+        match Journal.open_append path with
+        | Error e -> Error (Err.add_context "checkpoint" e)
+        | Ok j -> Fun.protect ~finally:(fun () -> Journal.close j) (fun () -> k (Some j) (Journal.entries j)))
+    in
+    with_journal @@ fun journal entries ->
+    let prior = Hashtbl.create 16 in
+    List.iter (fun (k, payload) -> Hashtbl.replace prior k payload) entries;
+    let prior_result kind = Option.bind (Hashtbl.find_opt prior (key kind)) decode_result in
+    let todo = List.filter (fun kind -> prior_result kind = None) schemes in
+    let todo_arr = Array.of_list todo in
+    let outcomes, _stats =
+      Pool.supervise ?jobs ~policy
+        ~on_done:(fun i oc ->
+          match (journal, oc) with
+          | Some j, Pool.Done (r : Engine.result) ->
+            Journal.append j ~key:(key todo_arr.(i)) (Marshal.to_string r [])
+          | _ -> ())
+        (fun kind -> simulate_packed ~cfg kind c.packed_trace)
+        todo
+    in
+    let fresh = Hashtbl.create 16 in
+    List.iteri (fun i oc -> Hashtbl.replace fresh (key todo_arr.(i)) oc) outcomes;
+    let rec collect acc = function
+      | [] -> Ok (c, List.rev acc)
+      | kind :: rest -> (
+        match Hashtbl.find_opt fresh (key kind) with
+        | Some (Pool.Done r) -> collect ({ kind; result = r } :: acc) rest
+        | Some (Pool.Failed e) -> Error (Err.add_context (scheme_name kind) e)
+        | Some (Pool.Timed_out s) ->
+          Err.error ~context:[ scheme_name kind ] Err.Timeout
+            "simulation gave up after %.1fs" s
+        | None -> (
+          match prior_result kind with
+          | Some r -> collect ({ kind; result = r } :: acc) rest
+          | None -> Err.error Err.Internal "missing cell %s" (scheme_name kind)))
+    in
+    collect [] schemes
 
 (** Convenience wrapper running one scheme from source. *)
 let run_source ?(cfg = Config.default) ?(intertask = true) kind program =

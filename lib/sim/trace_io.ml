@@ -17,6 +17,7 @@
 
 module Event = Hscd_arch.Event
 module Shape = Hscd_lang.Shape
+module Err = Hscd_util.Hscd_error
 
 let mark_str = function
   | Event.Unmarked -> "U"
@@ -31,14 +32,14 @@ let mark_of_str s =
   | "B" -> Event.Bypass_read
   | _ when String.length s > 1 && s.[0] = 'T' ->
     Event.Time_read (int_of_string (String.sub s 1 (String.length s - 1)))
-  | _ -> failwith ("Trace_io: bad read mark " ^ s)
+  | _ -> Err.fail Err.Parse "Trace_io: bad read mark %s" s
 
 let wmark_str = function Event.Normal_write -> "N" | Event.Bypass_write -> "B"
 
 let wmark_of_str = function
   | "N" -> Event.Normal_write
   | "B" -> Event.Bypass_write
-  | s -> failwith ("Trace_io: bad write mark " ^ s)
+  | s -> Err.fail Err.Parse "Trace_io: bad write mark %s" s
 
 let write_channel oc (t : Trace.t) =
   let pr fmt = Printf.fprintf oc fmt in
@@ -141,7 +142,7 @@ let parse_line b line =
       :: b.cur_events
   | [ "L" ] -> b.cur_events <- Event.Lock :: b.cur_events
   | [ "U" ] -> b.cur_events <- Event.Unlock :: b.cur_events
-  | _ -> failwith ("Trace_io: bad line: " ^ line)
+  | _ -> Err.fail Err.Parse "Trace_io: bad line: %s" line
 
 let load path : Trace.t =
   let b =
@@ -158,7 +159,7 @@ let load path : Trace.t =
       total = 0;
     }
   in
-  let ic = open_in path in
+  let ic = try open_in path with Sys_error m -> Err.fail Err.Io "Trace_io: %s" m in
   (try
      while true do
        parse_line b (input_line ic)
@@ -213,7 +214,7 @@ let mix h v =
   let h = (h lxor v) * 0x9E3779B1 in
   (h lxor (h lsr 27)) * 0x85EBCA77
 
-let corrupt what = failwith ("Trace_io: corrupt binary trace (" ^ what ^ ")")
+let corrupt what = Err.fail Err.Corrupt "Trace_io: corrupt binary trace (%s)" what
 
 type bin_writer = { oc : out_channel; wscratch : Bytes.t; mutable wsum : int }
 
@@ -307,7 +308,7 @@ let write_packed path p =
      raise exn);
   close_out oc
 
-type bin_reader = { ic : in_channel; rscratch : Bytes.t; mutable rsum : int }
+type bin_reader = { ic : in_channel; rscratch : Bytes.t; mutable rsum : int; rlimit : int }
 
 let get_raw_int r =
   (try really_input r.ic r.rscratch 0 8 with End_of_file -> corrupt "truncated");
@@ -318,9 +319,12 @@ let get_int r =
   r.rsum <- mix r.rsum v;
   v
 
+(* every count names items that occupy at least one byte in the file, so
+   the file length bounds every plausible count — a corrupted field that
+   decodes huge is rejected here instead of reaching an allocation *)
 let get_count r what =
   let v = get_int r in
-  if v < 0 then corrupt what;
+  if v < 0 || v > r.rlimit then corrupt what;
   v
 
 let get_str r =
@@ -340,18 +344,20 @@ let read_seq n f =
 let read_packed_channel ic : Trace.packed =
   let magic = Bytes.create (String.length binary_magic) in
   (try really_input ic magic 0 (Bytes.length magic)
-   with End_of_file -> failwith "Trace_io: not a binary trace (short file)");
+   with End_of_file -> corrupt "not a binary trace: short file");
   if Bytes.to_string magic <> binary_magic then
-    failwith "Trace_io: not a binary trace (bad magic)";
-  let r = { ic; rscratch = Bytes.create 8; rsum = 0 } in
+    corrupt "not a binary trace: bad magic";
+  let r = { ic; rscratch = Bytes.create 8; rsum = 0; rlimit = in_channel_length ic } in
   let total_words = get_count r "total_words" in
   let n_arrays = get_count r "array count" in
   let array_list =
     read_seq n_arrays (fun () ->
         let name = get_str r in
         let base = get_int r in
+        if base < 0 then corrupt "array base";
         let n_dims = get_count r "dim count" in
         let dims = read_seq n_dims (fun () -> get_int r) in
+        if List.exists (fun d -> d <= 0) dims then corrupt "array dimension";
         (name, base, dims))
   in
   let arrays = Hashtbl.create 16 in
@@ -443,9 +449,12 @@ let read_packed_channel ic : Trace.packed =
   }
 
 (** Load a binary packed trace, validating structure and checksum; raises
-    [Failure] on anything truncated, corrupt, or not in the format. *)
+    [Hscd_error.Error] (kind [Corrupt]) on anything truncated, corrupt,
+    or not in the format, and (kind [Io]) on OS-level failures. *)
 let read_packed path =
-  let ic = open_in_bin path in
+  let ic =
+    try open_in_bin path with Sys_error m -> Err.fail Err.Io "Trace_io: %s" m
+  in
   let p =
     try read_packed_channel ic
     with exn ->
@@ -454,6 +463,17 @@ let read_packed path =
   in
   close_in ic;
   p
+
+(** {!read_packed} as a [result] — the typed-error API: [Error] has kind
+    [Corrupt] for format/checksum violations, [Io] for OS failures, and
+    never lets an exception escape. *)
+let read_packed_result path =
+  Err.guard ~context:path (fun () -> read_packed path)
+
+(** {!load} as a [result]: [Parse] for syntax errors, [Io] for OS
+    failures. *)
+let load_result path =
+  Err.guard ~default:Err.Parse ~context:path (fun () -> load path)
 
 (** Cheap sniff: does [path] start with the binary magic? (Lets the CLI
     auto-detect binary vs. text traces.) *)

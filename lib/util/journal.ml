@@ -1,0 +1,138 @@
+let magic = "HSCDJNL1"
+
+(* the same order-sensitive avalanche fold as the binary trace format *)
+let mix h v =
+  let h = (h lxor v) * 0x9E3779B1 in
+  (h lxor (h lsr 27)) * 0x85EBCA77
+
+let sum_string h s =
+  let h = ref h in
+  String.iter (fun c -> h := mix !h (Char.code c)) s;
+  !h
+
+let record_sum ~key payload = sum_string (sum_string (mix (mix 0 (String.length key)) (String.length payload)) key) payload
+
+type t = {
+  oc : out_channel;
+  scratch : Bytes.t;
+  mutable recovered : (string * string) list;  (* reversed *)
+  mutable closed : bool;
+}
+
+(* ---- recovery scan ---- *)
+
+(* Reads the valid prefix of [path]: returns records (append order) and
+   the byte offset where the valid prefix ends. A record that is
+   truncated, has an implausible length, or fails its checksum ends the
+   scan — it and everything after it are the torn tail. *)
+let scan path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  let len = in_channel_length ic in
+  let m = Bytes.create (String.length magic) in
+  (match really_input ic m 0 (Bytes.length m) with
+  | () -> ()
+  | exception End_of_file ->
+    raise (Hscd_error.Error (Hscd_error.make Hscd_error.Corrupt (path ^ ": not a journal (short file)"))));
+  if Bytes.to_string m <> magic then
+    raise (Hscd_error.Error (Hscd_error.make Hscd_error.Corrupt (path ^ ": not a journal (bad magic)")));
+  let scratch = Bytes.create 8 in
+  let read_int () =
+    really_input ic scratch 0 8;
+    Int64.to_int (Bytes.get_int64_le scratch 0)
+  in
+  let read_str n =
+    let b = Bytes.create n in
+    really_input ic b 0 n;
+    Bytes.unsafe_to_string b
+  in
+  let records = ref [] in
+  let valid_end = ref (String.length magic) in
+  (try
+     let continue = ref true in
+     while !continue do
+       if pos_in ic >= len then continue := false
+       else begin
+         let key_len = read_int () in
+         if key_len < 0 || key_len > len then raise Exit;
+         let key = read_str key_len in
+         let payload_len = read_int () in
+         if payload_len < 0 || payload_len > len then raise Exit;
+         let payload = read_str payload_len in
+         let sum = read_int () in
+         if sum <> record_sum ~key payload then raise Exit;
+         records := (key, payload) :: !records;
+         valid_end := pos_in ic
+       end
+     done
+   with End_of_file | Exit -> ());
+  (List.rev !records, !valid_end, len)
+
+let load path =
+  if not (Sys.file_exists path) then Ok []
+  else
+    match scan path with
+    | records, _, _ -> Ok records
+    | exception Hscd_error.Error e -> Error e
+    | exception exn -> Error (Hscd_error.of_exn ~default:Hscd_error.Io exn)
+
+(* ---- appending ---- *)
+
+let put_int oc scratch v =
+  Bytes.set_int64_le scratch 0 (Int64.of_int v);
+  output_bytes oc scratch
+
+let append t ~key payload =
+  if t.closed then Hscd_error.fail Hscd_error.Internal "Journal.append: closed handle";
+  put_int t.oc t.scratch (String.length key);
+  output_string t.oc key;
+  put_int t.oc t.scratch (String.length payload);
+  output_string t.oc payload;
+  put_int t.oc t.scratch (record_sum ~key payload);
+  flush t.oc;
+  (* durable once append returns: a kill after this point loses nothing *)
+  try Unix.fsync (Unix.descr_of_out_channel t.oc) with Unix.Unix_error _ | Sys_error _ -> ()
+
+let entries t = List.rev t.recovered
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    close_out_noerr t.oc
+  end
+
+let open_append path =
+  match
+    if not (Sys.file_exists path) then begin
+      let oc = open_out_bin path in
+      output_string oc magic;
+      flush oc;
+      (oc, [])
+    end
+    else begin
+      let records, valid_end, len = scan path in
+      (* drop a torn tail atomically: rewrite the valid prefix and rename
+         over the original, so a crash here still leaves a valid journal *)
+      if valid_end < len then begin
+        let ic = open_in_bin path in
+        let prefix = really_input_string ic valid_end in
+        close_in ic;
+        let tmp = path ^ ".tmp" in
+        let oc = open_out_bin tmp in
+        output_string oc prefix;
+        close_out oc;
+        Sys.rename tmp path
+      end;
+      let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+      (oc, records)
+    end
+  with
+  | oc, recovered ->
+    Ok { oc; scratch = Bytes.create 8; recovered = List.rev recovered; closed = false }
+  | exception Hscd_error.Error e -> Error e
+  | exception exn -> Error (Hscd_error.of_exn ~default:Hscd_error.Io exn)
+
+let with_journal path f =
+  match open_append path with
+  | Error _ as e -> e
+  | Ok t -> Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

@@ -139,6 +139,81 @@ let test_disk_cache_survives_corruption () =
   Alcotest.(check bool) "regenerated trace exact" true
     (Trace_io.equal_packed c1.Run.packed_trace c2.Run.packed_trace)
 
+let test_disk_cache_bitflip_and_truncation () =
+  with_fresh_cache @@ fun () ->
+  let dir = Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hscd_cache_flip_%d" (Unix.getpid ()))
+  in
+  Run.set_compile_cache_dir (Some dir);
+  Fun.protect ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+  @@ fun () ->
+  let prog = Kernels.reduction ~n:16 () in
+  let c1 = Run.compile prog in
+  let entry = Filename.concat dir (Sys.readdir dir).(0) in
+  (* a single flipped bit mid-file: the checksum must catch it and the
+     trace must be silently regenerated (no exception, no stale data) *)
+  Hscd_check.Fault.Chaos.corrupt_file entry ~byte:((Unix.stat entry).Unix.st_size / 2);
+  Run.reset_compile_cache ();
+  Run.set_compile_cache_dir (Some dir);
+  let c2 = Run.compile prog in
+  Alcotest.(check int) "bit flip regenerated" 1
+    (Run.compile_cache_stats ()).Run.trace_generations;
+  Alcotest.(check bool) "bit flip: regenerated exact" true
+    (Trace_io.equal_packed c1.Run.packed_trace c2.Run.packed_trace);
+  (* regeneration rewrote the entry: a fresh "process" hits disk again *)
+  Run.reset_compile_cache ();
+  Run.set_compile_cache_dir (Some dir);
+  ignore (Run.compile prog);
+  Alcotest.(check int) "rewritten entry serves from disk" 1
+    (Run.compile_cache_stats ()).Run.disk_hits;
+  (* kill-mid-write truncation on the rewritten entry *)
+  Hscd_check.Fault.Chaos.truncate_file entry ~drop:32;
+  Run.reset_compile_cache ();
+  Run.set_compile_cache_dir (Some dir);
+  let c3 = Run.compile prog in
+  Alcotest.(check int) "truncation regenerated" 1
+    (Run.compile_cache_stats ()).Run.trace_generations;
+  Alcotest.(check bool) "truncation: regenerated exact" true
+    (Trace_io.equal_packed c1.Run.packed_trace c3.Run.packed_trace)
+
+let test_disk_cache_concurrent_writers () =
+  with_fresh_cache @@ fun () ->
+  let dir = Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hscd_cache_race_%d" (Unix.getpid ()))
+  in
+  Run.set_compile_cache_dir (Some dir);
+  Fun.protect ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+  @@ fun () ->
+  (* four domains compile the same key at once: all miss the (empty)
+     memory table, all generate, and all race the disk store. The
+     writer-unique tmp + atomic rename must leave exactly one complete
+     entry, never an interleaving of two writers. *)
+  let prog = Kernels.reduction ~n:16 () in
+  let reference = Run.compile ~cache:false prog in
+  let domains =
+    List.init 4 (fun _ -> Domain.spawn (fun () -> ignore (Run.compile prog)))
+  in
+  List.iter Domain.join domains;
+  let entries = Sys.readdir dir in
+  Alcotest.(check bool) "exactly one entry, no stray tmp files" true
+    (Array.length entries = 1 && not (Filename.check_suffix entries.(0) ".tmp"));
+  (* whatever interleaving happened, the surviving entry must be valid *)
+  Run.reset_compile_cache ();
+  Run.set_compile_cache_dir (Some dir);
+  let c = Run.compile prog in
+  let s = Run.compile_cache_stats () in
+  Alcotest.(check int) "entry readable after the race" 1 s.Run.disk_hits;
+  Alcotest.(check bool) "entry exact after the race" true
+    (Trace_io.equal_packed reference.Run.packed_trace c.Run.packed_trace)
+
 let suite =
   [
     Alcotest.test_case "memory hit shares artifact" `Quick test_memory_hit;
@@ -150,4 +225,8 @@ let suite =
     Alcotest.test_case "disk cache round-trip" `Quick test_disk_cache_roundtrip;
     Alcotest.test_case "disk cache rejects corrupt entries" `Quick
       test_disk_cache_survives_corruption;
+    Alcotest.test_case "disk cache: bit flip and truncation regenerated" `Quick
+      test_disk_cache_bitflip_and_truncation;
+    Alcotest.test_case "disk cache: concurrent same-key writers" `Quick
+      test_disk_cache_concurrent_writers;
   ]

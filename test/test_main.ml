@@ -12,6 +12,7 @@ let () =
       ("coherence", Test_coherence.suite);
       ("engine", Test_engine.suite);
       ("parallel", Test_parallel.suite);
+      ("supervised", Test_supervised.suite);
       ("random", Test_random.suite);
       ("extensions", Test_extensions.suite);
       ("stats-report", Test_stats_report.suite);

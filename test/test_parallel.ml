@@ -21,7 +21,7 @@ let test_pool_matches_list_map () =
     (fun jobs ->
       Alcotest.(check (list int))
         (Printf.sprintf "jobs=%d" jobs)
-        (List.map f xs) (Pool.map ~jobs f xs))
+        (List.map f xs) (Pool.map_exn ~jobs f xs))
     [ 1; 2; 4; 9 ]
 
 let test_pool_preserves_order_under_skew () =
@@ -36,17 +36,33 @@ let test_pool_preserves_order_under_skew () =
     ignore !acc;
     i * 2
   in
-  Alcotest.(check (list int)) "ordered" (List.map f xs) (Pool.map ~jobs:4 f xs)
+  Alcotest.(check (list int)) "ordered" (List.map f xs) (Pool.map_exn ~jobs:4 f xs)
 
 let test_pool_empty_and_singleton () =
-  Alcotest.(check (list int)) "empty" [] (Pool.map ~jobs:4 (fun x -> x) []);
-  Alcotest.(check (list int)) "singleton" [ 9 ] (Pool.map ~jobs:4 (fun x -> x * 3) [ 3 ])
+  Alcotest.(check (list int)) "empty" [] (Pool.map_exn ~jobs:4 (fun x -> x) []);
+  Alcotest.(check (list int)) "singleton" [ 9 ] (Pool.map_exn ~jobs:4 (fun x -> x * 3) [ 3 ])
 
 exception Boom of int
 
 let test_pool_propagates_exception () =
   Alcotest.check_raises "raises" (Boom 5) (fun () ->
-      ignore (Pool.map ~jobs:3 (fun x -> if x = 5 then raise (Boom 5) else x) (List.init 10 Fun.id)))
+      ignore
+        (Pool.map_exn ~jobs:3 (fun x -> if x = 5 then raise (Boom 5) else x) (List.init 10 Fun.id)))
+
+let test_pool_map_surfaces_all_outcomes () =
+  (* unlike map_exn, a failing task no longer discards its siblings *)
+  let outcomes =
+    Pool.map ~jobs:3 (fun x -> if x mod 4 = 1 then raise (Boom x) else x * 10) (List.init 10 Fun.id)
+  in
+  List.iteri
+    (fun x oc ->
+      if x mod 4 = 1 then
+        match oc with
+        | Error (e : Hscd_util.Hscd_error.t) ->
+          Alcotest.(check bool) "worker kind" true (e.kind = Hscd_util.Hscd_error.Worker)
+        | Ok _ -> Alcotest.fail "expected a typed error"
+      else Alcotest.(check int) "sibling survives" (x * 10) (match oc with Ok v -> v | Error _ -> -1))
+    outcomes
 
 let test_default_jobs_env () =
   let old = Sys.getenv_opt "HSCD_JOBS" in
@@ -143,6 +159,7 @@ let suite =
     Alcotest.test_case "pool preserves order" `Quick test_pool_preserves_order_under_skew;
     Alcotest.test_case "pool empty/singleton" `Quick test_pool_empty_and_singleton;
     Alcotest.test_case "pool propagates exceptions" `Quick test_pool_propagates_exception;
+    Alcotest.test_case "pool map surfaces all outcomes" `Quick test_pool_map_surfaces_all_outcomes;
     Alcotest.test_case "HSCD_JOBS env override" `Quick test_default_jobs_env;
     Alcotest.test_case "compare jobs=1 = jobs=4" `Quick test_compare_deterministic_across_jobs;
     Alcotest.test_case "compare extended schemes" `Quick test_compare_deterministic_extended_schemes;

@@ -48,8 +48,13 @@ let test_bad_input_rejected () =
   output_string oc "hscd-trace 1\nnonsense line here\n";
   close_out oc;
   (match Trace_io.load path with
-  | exception Failure _ -> ()
-  | _ -> Alcotest.fail "expected Failure on malformed trace");
+  | exception Hscd_util.Hscd_error.Error { kind = Hscd_util.Hscd_error.Parse; _ } -> ()
+  | exception e -> Alcotest.fail ("expected a typed Parse error, got " ^ Printexc.to_string e)
+  | _ -> Alcotest.fail "expected a typed Parse error on malformed trace");
+  (* the result API never lets the exception escape *)
+  (match Trace_io.load_result path with
+  | Error e -> Alcotest.(check bool) "load_result: parse kind" true (e.kind = Hscd_util.Hscd_error.Parse)
+  | Ok _ -> Alcotest.fail "load_result accepted a malformed trace");
   Sys.remove path
 
 let test_mark_strings () =
@@ -184,10 +189,15 @@ let test_binary_replay_equivalence () =
         (Run.simulate_packed kind loaded = Run.simulate_packed kind c.Run.packed_trace))
     [ Run.Base; Run.TPI; Run.HW ]
 
-let expect_failure name f =
-  match f () with
-  | exception Failure _ -> ()
-  | _ -> Alcotest.fail ("expected Failure: " ^ name)
+(* the typed-error contract: [read_packed_result] must come back [Error]
+   with kind [Corrupt] — never let an exception escape, never [Ok] *)
+let expect_corrupt name path =
+  match Trace_io.read_packed_result path with
+  | Error (e : Hscd_util.Hscd_error.t) ->
+    Alcotest.(check bool) (name ^ ": corrupt kind") true (e.kind = Hscd_util.Hscd_error.Corrupt)
+  | Ok _ -> Alcotest.fail ("corrupt trace accepted: " ^ name)
+  | exception e ->
+    Alcotest.fail (Printf.sprintf "%s: exception escaped read_packed_result: %s" name (Printexc.to_string e))
 
 let test_binary_rejects_corruption () =
   let c = Run.compile ~cache:false (Hscd_workloads.Kernels.jacobi1d ~n:16 ~iters:1 ()) in
@@ -204,21 +214,47 @@ let test_binary_rejects_corruption () =
   in
   (* truncation: drop the checksum and a little more *)
   write_variant (String.sub content 0 (len - 12));
-  expect_failure "truncated" (fun () -> Trace_io.read_packed path);
+  expect_corrupt "truncated" path;
+  (* mid-slab truncation: cut deep inside the slab section *)
+  write_variant (String.sub content 0 (len * 2 / 3));
+  expect_corrupt "mid-slab truncation" path;
   (* single byte flipped mid-file: checksum must catch it *)
   let flipped = Bytes.of_string content in
   let pos = len / 2 in
   Bytes.set flipped pos (Char.chr (Char.code (Bytes.get flipped pos) lxor 0x40));
   write_variant (Bytes.to_string flipped);
-  expect_failure "bit flip" (fun () -> Trace_io.read_packed path);
+  expect_corrupt "bit flip" path;
+  (* checksum itself flipped: body is intact but the trailer lies *)
+  let sumflip = Bytes.of_string content in
+  Bytes.set sumflip (len - 1) (Char.chr (Char.code (Bytes.get sumflip (len - 1)) lxor 0x01));
+  write_variant (Bytes.to_string sumflip);
+  expect_corrupt "checksum flip" path;
   (* wrong magic *)
   write_variant ("XXXXXXXX" ^ String.sub content 8 (len - 8));
-  expect_failure "bad magic" (fun () -> Trace_io.read_packed path);
+  expect_corrupt "bad magic" path;
   Alcotest.(check bool) "bad magic not sniffed as binary" false (Trace_io.is_binary path);
-  (* short file *)
+  (* a foreign format that happens to share a prefix length *)
+  write_variant "HSCDJNL1\x00\x00\x00\x00\x00\x00\x00\x00";
+  expect_corrupt "foreign magic" path;
+  (* short file / empty file *)
   write_variant "HS";
-  expect_failure "short file" (fun () -> Trace_io.read_packed path);
-  Sys.remove path
+  expect_corrupt "short file" path;
+  write_variant "";
+  expect_corrupt "empty file" path;
+  (* every header word forced out of range: counts go negative, value
+     fields break the checksum — either way a typed Corrupt, no escape *)
+  let n_header_words = min 24 ((len - 8) / 8) in
+  for word = 0 to n_header_words - 1 do
+    let b = Bytes.of_string content in
+    Bytes.set_int64_le b (8 + (word * 8)) (-1L);
+    write_variant (Bytes.to_string b);
+    expect_corrupt (Printf.sprintf "header word %d out of range" word) path
+  done;
+  Sys.remove path;
+  (* a missing file is an [Io] error, not [Corrupt] *)
+  match Trace_io.read_packed_result path with
+  | Error e -> Alcotest.(check bool) "missing file: io kind" true (e.kind = Hscd_util.Hscd_error.Io)
+  | Ok _ -> Alcotest.fail "missing file accepted"
 
 let suite =
   [

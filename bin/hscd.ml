@@ -7,6 +7,7 @@
     - [compare <file|bench>]: all four schemes side by side;
     - [experiment <id>|all]: regenerate a paper table/figure;
     - [fuzz]: differential fuzzing of the coherence schemes;
+    - [check]: bounded exhaustive model checking with counterexample replay;
     - [list]: available benchmarks and experiments. *)
 
 open Cmdliner
@@ -332,6 +333,105 @@ let fuzz_cmd =
     Term.(const run $ seed_arg $ count_arg $ no_shrink_arg $ save_arg $ corpus_arg $ write_corpus_arg
           $ jobs_arg)
 
+let check_cmd =
+  let module Mc = Hscd_check.Mc in
+  let module Oracle = Hscd_check.Oracle in
+  let module Fault = Hscd_check.Fault in
+  let fault_conv =
+    let parse s =
+      let prefixed p = String.length s > String.length p && String.sub s 0 (String.length p) = p in
+      let tail p = String.sub s (String.length p) (String.length s - String.length p) in
+      match s with
+      | "ignore-time-read" -> Ok Fault.Ignore_time_read
+      | "skip-epoch-boundary" -> Ok Fault.Skip_epoch_boundary
+      | _ when prefixed "stale-time-read+" -> (
+        match int_of_string_opt (tail "stale-time-read+") with
+        | Some k when k > 0 -> Ok (Fault.Stale_time_read k)
+        | _ -> Error (`Msg "stale-time-read+K needs a positive K"))
+      | _ when prefixed "corrupt-read-" -> (
+        match int_of_string_opt (tail "corrupt-read-") with
+        | Some n when n > 0 -> Ok (Fault.Corrupt_read_value n)
+        | _ -> Error (`Msg "corrupt-read-N needs a positive N"))
+      | _ ->
+        Error
+          (`Msg
+             "fault must be stale-time-read+K, ignore-time-read, skip-epoch-boundary or \
+              corrupt-read-N")
+    in
+    Arg.conv (parse, fun fmt f -> Format.pp_print_string fmt (Fault.name f))
+  in
+  let run scheme procs words depth line tag migration max_states fault jobs =
+    let scope =
+      { Mc.procs; words; line_words = line; timetag_bits = tag; depth; migration; max_states }
+    in
+    let schemes =
+      match scheme with Some k -> [ k ] | None -> Hscd_sim.Run.extended_schemes
+    in
+    Printf.printf "bounded check: %s%s\n%!" (Mc.describe_scope scope)
+      (match fault with Some f -> ", fault " ^ Fault.name f | None -> "");
+    let jobs = resolve_jobs jobs in
+    let reports = Mc.check_all ?fault ~jobs ~schemes scope in
+    List.iter (fun r -> print_endline (Mc.describe r)) reports;
+    List.iter
+      (fun (r : Mc.report) ->
+        match r.Mc.counterexample with
+        | None -> ()
+        | Some cx ->
+          let _trace, o = Mc.replay ?fault ~jobs scope cx in
+          Printf.printf "engine replay of the %s counterexample: %s\n%s"
+            (Hscd_sim.Run.scheme_name r.Mc.kind)
+            (if Oracle.ok o then "oracle CLEAN (abstract violation not reproduced)"
+             else "oracle flags it")
+            (Oracle.describe o))
+      reports;
+    let bad = List.length (List.filter (fun r -> not (Mc.ok r)) reports) in
+    if bad > 0 then Err.fail Err.Check "%d scheme(s) failed the bounded check" bad
+  in
+  let scheme_opt_arg =
+    Arg.(value & opt (some scheme_conv) None
+         & info [ "s"; "scheme" ] ~doc:"Scheme to check (default: all seven)")
+  in
+  let procs_arg =
+    Arg.(value & opt int Mc.default_scope.Mc.procs
+         & info [ "p"; "procs" ] ~doc:"Processors (= tasks per parallel epoch)")
+  in
+  let words_arg =
+    Arg.(value & opt int Mc.default_scope.Mc.words & info [ "w"; "words" ] ~doc:"Shared data words")
+  in
+  let depth_arg =
+    Arg.(value & opt int Mc.default_scope.Mc.depth
+         & info [ "d"; "depth" ] ~doc:"Bound on actions per explored path")
+  in
+  let line_arg =
+    Arg.(value & opt int Mc.default_scope.Mc.line_words
+         & info [ "line-words" ] ~doc:"Cache line size in words")
+  in
+  let tag_arg =
+    Arg.(value & opt int Mc.default_scope.Mc.timetag_bits
+         & info [ "timetag-bits" ] ~doc:"TPI timetag width (2 = tightest wrap window)")
+  in
+  let migration_arg =
+    Arg.(value & flag
+         & info [ "migration" ]
+             ~doc:"Explore under dynamic scheduling with mid-task migration guard rules")
+  in
+  let max_states_arg =
+    Arg.(value & opt int Mc.default_scope.Mc.max_states
+         & info [ "max-states" ] ~doc:"State cap; the search reports truncation beyond it")
+  in
+  let fault_arg =
+    Arg.(value & opt (some fault_conv) None
+         & info [ "fault" ] ~docv:"FAULT"
+             ~doc:"Inject a coherence bug (stale-time-read+K, ignore-time-read, \
+                   skip-epoch-boundary, corrupt-read-N) and expect a counterexample")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Bounded exhaustive model check of the coherence schemes with counterexample \
+             replay through the timing engine")
+    Term.(const run $ scheme_opt_arg $ procs_arg $ words_arg $ depth_arg $ line_arg $ tag_arg
+          $ migration_arg $ max_states_arg $ fault_arg $ jobs_arg)
+
 let list_cmd =
   let run () =
     print_endline "Perfect Club benchmark models:";
@@ -365,7 +465,8 @@ let () =
   in
   let group =
     Cmd.group info
-      [ mark_cmd; sim_cmd; compare_cmd; experiment_cmd; trace_cmd; replay_cmd; fuzz_cmd; list_cmd ]
+      [ mark_cmd; sim_cmd; compare_cmd; experiment_cmd; trace_cmd; replay_cmd; fuzz_cmd;
+        check_cmd; list_cmd ]
   in
   let code =
     match Cmd.eval_value ~catch:false group with

@@ -136,3 +136,7 @@ let resident_lines t =
   let n = ref 0 in
   iter_lines t (fun _ -> incr n);
   !n
+
+(** Frames in set/frame order, including invalid ones — snapshot encoders
+    walk the full geometry so equal states serialize identically. *)
+let frame_sets t = t.sets

@@ -42,3 +42,7 @@ val allocate : t -> on_evict:(line -> unit) -> int -> line
 val iter_lines : t -> (line -> unit) -> unit
 
 val resident_lines : t -> int
+
+(** Frames in set/frame order, including invalid ones (for abstract-state
+    snapshot encoders that must walk the full cache geometry). *)
+val frame_sets : t -> line array array

@@ -127,5 +127,6 @@ let wrap m (Scheme.Packed ((module S), s)) : Scheme.packed =
 
     let stats () = S.stats s
     let memory_image () = S.memory_image s
+    let snapshot () = S.snapshot s
   end in
   Scheme.Packed ((module M), ())

@@ -19,6 +19,20 @@ val report : t -> violation list
     trace's epoch count (monotone lockstep epoch counters). *)
 val boundaries : t -> int
 
+(** {2 Direct per-step entry points}
+
+    The engine path uses {!wrap}; the bounded model checker ({!Mc}) and
+    the monitor's own unit tests drive the shadow model one step at a
+    time instead. [on_read] must see the value the scheme returned,
+    [on_write] must run before the shadow history is consulted again,
+    and [on_boundary] must see the scheme's per-processor stall array. *)
+
+val on_read :
+  t -> proc:int -> addr:int -> mark:Hscd_arch.Event.rmark -> int -> unit
+
+val on_write : t -> addr:int -> int -> unit
+val on_boundary : t -> int array -> unit
+
 (** Decorate a packed scheme instance so every access and boundary is
     checked against the monitor's shadow model. *)
 val wrap : t -> Hscd_coherence.Scheme.packed -> Hscd_coherence.Scheme.packed

@@ -51,3 +51,9 @@ let epoch_boundary t = Array.make t.cfg.processors 0
 let stats t = t.st
 
 let memory_image t = t.mem.Memstate.values
+
+(* no caches: the memory image is the whole abstract state *)
+let snapshot t =
+  let b = Buffer.create 64 in
+  Scheme.Snap.ints b t.mem.Memstate.values;
+  Buffer.contents b

@@ -213,3 +213,17 @@ let epoch_boundary t = Array.make t.cfg.processors 0
 let stats t = t.st
 
 let memory_image t = t.mem.Memstate.values
+
+(* memory + caches + the full-map directory (presence vectors and dirty
+   bits drive future invalidations and recalls) *)
+let snapshot t =
+  let b = Buffer.create 256 in
+  Scheme.Snap.ints b t.mem.Memstate.values;
+  Array.iter
+    (fun e ->
+      Hscd_util.Bitset.iter (Scheme.Snap.int b) e.presence;
+      Scheme.Snap.bool b e.dirty;
+      Scheme.Snap.sep b)
+    t.directory;
+  Scheme.Snap.caches b t.caches;
+  Buffer.contents b

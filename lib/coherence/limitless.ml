@@ -59,3 +59,7 @@ let stats t = Hwdir.stats t.hw
 let traps t = t.traps
 
 let memory_image t = Hwdir.memory_image t.hw
+
+(* pointer count is configuration, trap count is a statistic: the
+   abstract state is exactly the underlying directory protocol's *)
+let snapshot t = Hwdir.snapshot t.hw

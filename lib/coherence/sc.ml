@@ -57,3 +57,8 @@ let epoch_boundary t =
 let stats t = t.w.st
 
 let memory_image t = t.w.Wt_common.mem.Memstate.values
+
+let snapshot t =
+  let b = Buffer.create 256 in
+  Wt_common.snapshot_into b t.w;
+  Buffer.contents b

@@ -69,6 +69,69 @@ type stats = {
 let fresh_stats () =
   { invalidations_sent = 0; dirty_recalls = 0; two_phase_resets = 0; upgrades = 0; writebacks = 0 }
 
+(** Buffer-based encoders for {!S.snapshot}: every scheme writes its
+    abstract state through these, so equal states produce equal strings
+    and the bounded model checker can hash-dedup on them. The encodings
+    are length-prefixed/delimited, never ambiguous across field
+    boundaries. *)
+module Snap = struct
+  module Cache = Hscd_cache.Cache
+
+  let int b n =
+    Buffer.add_string b (string_of_int n);
+    Buffer.add_char b ' '
+
+  let bool b v = Buffer.add_char b (if v then '1' else '0')
+
+  (** Section delimiter, so concatenated variable-length parts of two
+      different states can never collide. *)
+  let sep b = Buffer.add_char b '|'
+
+  let ints b a =
+    int b (Array.length a);
+    Array.iter (int b) a;
+    sep b
+
+  let bools b a =
+    int b (Array.length a);
+    Array.iter (bool b) a;
+    sep b
+
+  (** Value-relevant cache state: per frame (in set/frame order) the tag,
+      protocol state, LRU rank within its set, and per-word validity,
+      values and scheme metadata. Classification-only fields (touch bits,
+      fetch history, invalidation provenance flags) and the absolute LRU
+      tick are deliberately excluded — they never change which values a
+      future access can observe, and the raw tick would make every
+      snapshot unique. *)
+  let cache b (c : Cache.t) =
+    Array.iter
+      (fun set ->
+        (* ranks, not raw ticks: eviction order is what matters *)
+        let order = Array.map (fun (l : Cache.line) -> l.Cache.lru) set in
+        let rank l =
+          let r = ref 0 in
+          Array.iter (fun o -> if o < l then incr r) order;
+          !r
+        in
+        Array.iter
+          (fun (l : Cache.line) ->
+            if l.Cache.state = Cache.invalid_state then Buffer.add_char b '.'
+            else begin
+              int b l.Cache.tag;
+              int b l.Cache.state;
+              int b (rank l.Cache.lru);
+              bools b l.Cache.word_valid;
+              ints b l.Cache.values;
+              ints b l.Cache.meta
+            end)
+          set;
+        sep b)
+      (Cache.frame_sets c)
+
+  let caches b a = Array.iter (cache b) a
+end
+
 module type S = sig
   type t
 
@@ -95,6 +158,17 @@ module type S = sig
   (** Final memory image, for end-of-run comparison against the golden
       interpreter. *)
   val memory_image : t -> int array
+
+  (** Canonical encoding of the scheme's abstract coherence state —
+      everything that determines which values future accesses can
+      observe: the memory image, per-processor cached words (validity,
+      value, timetag/version metadata), epoch and version counters, and
+      directory entries. Timing state (clocks, network load, write-buffer
+      occupancy) and statistics counters are excluded. Replaying the same
+      access sequence on a fresh instance must reproduce the same
+      snapshot (asserted by the test suite); the bounded model checker
+      ({!Hscd_check.Mc}) hashes and dedups explored states on it. *)
+  val snapshot : t -> string
 end
 
 type packed = Packed : (module S with type t = 't) * 't -> packed

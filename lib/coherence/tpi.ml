@@ -115,3 +115,12 @@ let epoch_boundary t =
 let stats t = t.w.st
 
 let memory_image t = t.w.Wt_common.mem.Memstate.values
+
+(* the epoch counter is state (word ages are [epoch - meta]); the phase
+   is config, not state *)
+let snapshot t =
+  let b = Buffer.create 256 in
+  Scheme.Snap.int b t.epoch;
+  Scheme.Snap.sep b;
+  Wt_common.snapshot_into b t.w;
+  Buffer.contents b

@@ -100,3 +100,21 @@ let epoch_boundary t =
 let stats t = t.w.st
 
 let memory_image t = t.w.Wt_common.mem.Memstate.values
+
+(* per-variable CVNs and intra-epoch dirty flags are state; the tables
+   only grow on demand, so trailing never-written ids (version 0, clean)
+   are trimmed to keep the encoding independent of table capacity *)
+let snapshot t =
+  let b = Buffer.create 256 in
+  let live = ref 0 in
+  Array.iteri
+    (fun id v ->
+      if v <> 0 || Bytes.get t.written_this_epoch id = '\001' then live := id + 1)
+    t.versions;
+  Scheme.Snap.ints b (Array.sub t.versions 0 !live);
+  for id = 0 to !live - 1 do
+    Scheme.Snap.bool b (Bytes.get t.written_this_epoch id = '\001')
+  done;
+  Scheme.Snap.sep b;
+  Wt_common.snapshot_into b t.w;
+  Buffer.contents b

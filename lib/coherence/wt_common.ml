@@ -147,6 +147,14 @@ let write_bypass t ~proc ~addr ~value ~meta =
   in
   Scheme.set_result t.res ~latency ~value ~cls:Scheme.Uncached
 
+(** Shared {!Scheme.S.snapshot} body of the write-through family: memory
+    image plus every processor's cache. Write buffers are traffic-only
+    (correctness-visible updates go to [mem] eagerly), so they are not
+    part of the abstract state. *)
+let snapshot_into b t =
+  Scheme.Snap.ints b t.mem.Memstate.values;
+  Scheme.Snap.caches b t.caches
+
 (** Drain all write buffers at an epoch boundary; traffic only. *)
 let drain_buffers t =
   Array.iter

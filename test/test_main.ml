@@ -20,6 +20,8 @@ let () =
       ("trace-io", Test_trace_io.suite);
       ("packed", Test_packed.suite);
       ("fuzz", Test_fuzz.suite);
+      ("monitor", Test_monitor.suite);
+      ("mc", Test_mc.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("workloads", Test_workloads.suite);
       ("compile-cache", Test_compile_cache.suite);

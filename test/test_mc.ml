@@ -1,0 +1,217 @@
+(** Tests for the bounded model checker ({!Hscd_check.Mc}) and the
+    {!Scheme.S.snapshot} contract it rests on: replaying the same access
+    prefix on a fresh instance reproduces the same snapshot for every
+    scheme; exploration of correct schemes is violation-free; a
+    fault-injected scheme yields a counterexample whose trace is
+    well-formed, sound, and replays to the same failure through the
+    timing engine. *)
+
+module Config = Hscd_arch.Config
+module Event = Hscd_arch.Event
+module Scheme = Hscd_coherence.Scheme
+module Run = Hscd_sim.Run
+module Mc = Hscd_check.Mc
+module Fault = Hscd_check.Fault
+module Oracle = Hscd_check.Oracle
+module Golden = Hscd_check.Golden
+module Kruskal_snir = Hscd_network.Kruskal_snir
+module Traffic = Hscd_network.Traffic
+
+(* --- snapshot determinism across all seven schemes --- *)
+
+(* a fixed prefix: writes and marked reads by two processors over two
+   words in one line, with enough boundaries to cross a 2-bit-timetag
+   two-phase reset *)
+type step =
+  | R of int * int * Event.rmark  (* proc, addr, mark *)
+  | W of int * int * int  (* proc, addr, value *)
+  | B  (* epoch boundary *)
+
+let script =
+  [
+    W (0, 0, 11); R (1, 1, Event.Unmarked); B;
+    R (1, 0, Event.Time_read 1); W (1, 1, 22); B;
+    R (0, 0, Event.Normal_read); R (0, 1, Event.Bypass_read); B;
+    B;
+    R (1, 0, Event.Time_read 3); W (0, 0, 33); B;
+    R (1, 0, Event.Time_read 0);
+  ]
+
+let cfg =
+  Config.validate
+    {
+      Config.default with
+      processors = 2;
+      line_words = 2;
+      timetag_bits = 2;
+      cache_bytes = 64 * Config.default.word_bytes;
+    }
+
+let make kind =
+  let network = Kruskal_snir.create cfg in
+  let traffic = Traffic.create cfg in
+  Run.pack kind cfg ~memory_words:4 ~network ~traffic
+
+(* apply the script, collecting the snapshot after every step *)
+let snapshots packed =
+  match packed with
+  | Scheme.Packed ((module S), s) ->
+    List.map
+      (fun step ->
+        (match step with
+        | R (proc, addr, mark) -> ignore (S.read s ~proc ~addr ~array:0 ~mark)
+        | W (proc, addr, value) ->
+          ignore (S.write s ~proc ~addr ~array:0 ~value ~mark:Event.Normal_write)
+        | B -> ignore (S.epoch_boundary s));
+        S.snapshot s)
+      script
+
+let test_snapshot_determinism () =
+  List.iter
+    (fun kind ->
+      let a = snapshots (make kind) and b = snapshots (make kind) in
+      List.iteri
+        (fun i (sa, sb) ->
+          if sa <> sb then
+            Alcotest.failf "%s: snapshots diverge at step %d" (Run.scheme_name kind) i)
+        (List.combine a b);
+      (* the snapshot is not inert: the script must change it at least once *)
+      match a with
+      | first :: rest ->
+        if List.for_all (( = ) first) rest then
+          Alcotest.failf "%s: snapshot never changed over the script" (Run.scheme_name kind)
+      | [] -> ())
+    Run.extended_schemes
+
+let test_snapshot_distinguishes_values () =
+  (* same shape, different written value => different snapshot *)
+  List.iter
+    (fun kind ->
+      let drive v packed =
+        match packed with
+        | Scheme.Packed ((module S), s) ->
+          ignore (S.write s ~proc:0 ~addr:0 ~array:0 ~value:v ~mark:Event.Normal_write);
+          S.snapshot s
+      in
+      let a = drive 7 (make kind) and b = drive 8 (make kind) in
+      if a = b then
+        Alcotest.failf "%s: snapshot blind to the written value" (Run.scheme_name kind))
+    Run.extended_schemes
+
+(* --- exploration of correct schemes --- *)
+
+let quick_scope = { Mc.default_scope with Mc.depth = 5 }
+
+let test_explore_clean () =
+  List.iter
+    (fun kind ->
+      let r = Mc.explore ~jobs:1 quick_scope kind in
+      (match r.Mc.counterexample with
+      | Some cx ->
+        Alcotest.failf "%s: spurious counterexample: %s (%s)" (Run.scheme_name kind)
+          cx.Mc.violation
+          (Mc.actions_to_string cx.Mc.actions)
+      | None -> ());
+      if r.Mc.stats.Mc.truncated then Alcotest.failf "%s: truncated" (Run.scheme_name kind);
+      if r.Mc.stats.Mc.states < 10 then
+        Alcotest.failf "%s: only %d states explored" (Run.scheme_name kind) r.Mc.stats.Mc.states)
+    Run.extended_schemes
+
+let test_explore_deterministic () =
+  (* same scope, any job count: identical state/transition counts *)
+  let a = Mc.explore ~jobs:1 quick_scope Run.TPI and b = Mc.explore ~jobs:4 quick_scope Run.TPI in
+  Alcotest.(check int) "states" a.Mc.stats.Mc.states b.Mc.stats.Mc.states;
+  Alcotest.(check int) "transitions" a.Mc.stats.Mc.transitions b.Mc.stats.Mc.transitions
+
+let test_migration_scope () =
+  (* migration mode: tighter windows, Migrate actions; still clean *)
+  let scope = { quick_scope with Mc.migration = true; Mc.depth = 4 } in
+  List.iter
+    (fun kind ->
+      let r = Mc.explore ~jobs:1 scope kind in
+      match r.Mc.counterexample with
+      | Some cx ->
+        Alcotest.failf "%s under migration: %s" (Run.scheme_name kind) cx.Mc.violation
+      | None -> ())
+    [ Run.Base; Run.TPI; Run.HW ]
+
+(* --- fault injection: counterexample found and engine-replayable --- *)
+
+let fault_scope = { Mc.default_scope with Mc.depth = 7 }
+
+let test_fault_counterexample () =
+  let fault = Fault.Stale_time_read 1 in
+  let r = Mc.explore ~fault ~jobs:1 fault_scope Run.TPI in
+  match r.Mc.counterexample with
+  | None -> Alcotest.fail "stale-time-read+1 on TPI produced no counterexample"
+  | Some cx ->
+    (* the counterexample trace is well-formed and sound: the failure is
+       the scheme's, not the input's *)
+    let trace = Mc.trace_of_actions fault_scope cx.Mc.actions in
+    Alcotest.(check (list string)) "lint" [] (Golden.lint trace);
+    Alcotest.(check (list string)) "mark soundness" []
+      (Golden.mark_sound (Mc.cfg_of fault_scope) trace);
+    (* and it replays through the timing engine to the same violation *)
+    let _trace, o = Mc.replay ~fault fault_scope cx in
+    if Oracle.ok o then Alcotest.fail "engine replay did not reproduce the violation";
+    Alcotest.(check bool) "TPI is the failing scheme" true
+      (List.mem Run.TPI (Oracle.failing_schemes o))
+
+let test_fault_clean_without_injection () =
+  (* the same counterexample trace replayed WITHOUT the fault is clean:
+     the trace is a directed regression, not a broken input *)
+  let fault = Fault.Stale_time_read 1 in
+  let r = Mc.explore ~fault ~jobs:1 fault_scope Run.TPI in
+  match r.Mc.counterexample with
+  | None -> Alcotest.fail "no counterexample"
+  | Some cx ->
+    let _trace, o = Mc.replay fault_scope cx in
+    if not (Oracle.ok o) then
+      Alcotest.failf "correct TPI fails the counterexample trace:\n%s" (Oracle.describe o)
+
+let test_corrupt_read_fault () =
+  let fault = Fault.Corrupt_read_value 3 in
+  let r = Mc.explore ~fault ~jobs:1 { quick_scope with Mc.depth = 4 } Run.SC in
+  match r.Mc.counterexample with
+  | None -> Alcotest.fail "corrupt-read-3 on SC produced no counterexample"
+  | Some cx ->
+    let _trace, o = Mc.replay ~fault { quick_scope with Mc.depth = 4 } cx in
+    if Oracle.ok o then Alcotest.fail "engine replay did not reproduce the corruption"
+
+(* --- counterexample-shaped trace conversion --- *)
+
+let test_trace_of_actions_shape () =
+  let scope = Mc.default_scope in
+  let actions =
+    [
+      Mc.Write { task = 0; word = 0 };
+      Mc.Advance;
+      Mc.Read { task = 1; word = 0; mark = Event.Time_read 1 };
+      Mc.Advance;
+    ]
+  in
+  let t = Mc.trace_of_actions scope actions in
+  (* trailing Advance opens one empty epoch beyond the two action epochs *)
+  Alcotest.(check int) "epochs" 3 (Array.length t.Hscd_sim.Trace.epochs);
+  Array.iter
+    (fun (e : Hscd_sim.Trace.epoch) ->
+      Alcotest.(check int) "one task per processor" scope.Mc.procs (Array.length e.tasks))
+    t.Hscd_sim.Trace.epochs;
+  (* golden stamping: the read must observe the write's value *)
+  let v = Mc.write_value ~word:0 ~n:1 in
+  Alcotest.(check int) "golden memory" v t.Hscd_sim.Trace.golden_memory.(0);
+  Alcotest.(check (list string)) "lint" [] (Golden.lint t);
+  Alcotest.(check (list string)) "sound" [] (Golden.mark_sound (Mc.cfg_of scope) t)
+
+let suite =
+  [
+    Alcotest.test_case "snapshot determinism" `Quick test_snapshot_determinism;
+    Alcotest.test_case "snapshot sees values" `Quick test_snapshot_distinguishes_values;
+    Alcotest.test_case "explore clean schemes" `Slow test_explore_clean;
+    Alcotest.test_case "explore deterministic" `Quick test_explore_deterministic;
+    Alcotest.test_case "migration scope" `Quick test_migration_scope;
+    Alcotest.test_case "fault counterexample replays" `Quick test_fault_counterexample;
+    Alcotest.test_case "counterexample clean unfaulted" `Quick test_fault_clean_without_injection;
+    Alcotest.test_case "corrupt-read fault" `Quick test_corrupt_read_fault;
+    Alcotest.test_case "trace conversion" `Quick test_trace_of_actions_shape;
+  ]

@@ -1,0 +1,165 @@
+(** Unit tests for the per-step invariant monitors of
+    {!Hscd_check.Monitor} in isolation: hand-built step sequences drive
+    the shadow model through the direct entry points and assert that
+    each check fires exactly when it should — a violating sequence per
+    monitor, and the nearest non-violating neighbour of each. *)
+
+module Event = Hscd_arch.Event
+module Monitor = Hscd_check.Monitor
+
+let make ?(processors = 2) ?(words = 4) () = Monitor.create ~processors ~words
+
+let kinds m = List.map (fun (v : Monitor.violation) -> v.Monitor.kind) (Monitor.report m)
+
+let check_kinds what expected m = Alcotest.(check (list string)) what expected (kinds m)
+
+let boundary ?(stalls = [| 0; 0 |]) m = Monitor.on_boundary m stalls
+
+(* --- value provenance --- *)
+
+let test_phantom_value () =
+  let m = make () in
+  (* initial zero is legal on any mark *)
+  Monitor.on_read m ~proc:0 ~addr:1 ~mark:Event.Unmarked 0;
+  check_kinds "zero before any write" [] m;
+  (* a value that was never written anywhere is phantom *)
+  Monitor.on_read m ~proc:1 ~addr:1 ~mark:Event.Normal_read 99;
+  check_kinds "unwritten value" [ "phantom-value" ] m;
+  (* once written, the same value is legitimate provenance *)
+  let m = make () in
+  Monitor.on_write m ~addr:1 42;
+  Monitor.on_read m ~proc:0 ~addr:1 ~mark:Event.Unmarked 42;
+  check_kinds "written value" [] m;
+  (* provenance is per-address: 42 at another address is still phantom *)
+  Monitor.on_read m ~proc:0 ~addr:2 ~mark:Event.Unmarked 42;
+  check_kinds "other address" [ "phantom-value" ] m
+
+let test_bounds () =
+  let m = make ~words:4 () in
+  Monitor.on_read m ~proc:0 ~addr:4 ~mark:Event.Unmarked 0;
+  check_kinds "read past the image" [ "bounds" ] m;
+  let m = make ~words:4 () in
+  Monitor.on_read m ~proc:0 ~addr:(-1) ~mark:Event.Unmarked 0;
+  check_kinds "negative address" [ "bounds" ] m;
+  (* out-of-range writes are dropped silently (the engine flags them) *)
+  let m = make ~words:4 () in
+  Monitor.on_write m ~addr:7 5;
+  Monitor.on_read m ~proc:0 ~addr:3 ~mark:Event.Unmarked 0;
+  check_kinds "in-bounds read after dropped write" [] m
+
+(* --- Time-Read windows --- *)
+
+(* history: v1 written in epoch 0, v2 in epoch 2; reads happen in epoch 3 *)
+let window_setup () =
+  let m = make () in
+  Monitor.on_write m ~addr:0 11;
+  boundary m;
+  boundary m;
+  Monitor.on_write m ~addr:0 22;
+  boundary m;
+  m
+
+let test_time_read_window () =
+  let m = window_setup () in
+  (* current value satisfies any window *)
+  Monitor.on_read m ~proc:0 ~addr:0 ~mark:(Event.Time_read 0) 22;
+  check_kinds "current value, d=0" [] m;
+  (* v1 was last held in epoch 2 (until v2's write): d=1 reaches it *)
+  Monitor.on_read m ~proc:0 ~addr:0 ~mark:(Event.Time_read 1) 11;
+  check_kinds "old value inside window" [] m;
+  (* d=0 only covers epoch 3, where only v2 was held *)
+  Monitor.on_read m ~proc:0 ~addr:0 ~mark:(Event.Time_read 0) 11;
+  check_kinds "old value outside window" [ "stale-time-read" ] m
+
+let test_time_read_phantom_precedence () =
+  (* a phantom value on a Time-Read is reported as provenance, not window *)
+  let m = window_setup () in
+  Monitor.on_read m ~proc:0 ~addr:0 ~mark:(Event.Time_read 3) 99;
+  check_kinds "phantom beats window" [ "phantom-value" ] m
+
+let test_unchecked_marks_tolerate_stale () =
+  (* Normal/Unmarked reads have no architectural window: the monitor
+     only demands provenance (the engine's golden check is the one that
+     rejects stale values on those marks) *)
+  let m = window_setup () in
+  Monitor.on_read m ~proc:0 ~addr:0 ~mark:Event.Normal_read 11;
+  Monitor.on_read m ~proc:1 ~addr:0 ~mark:Event.Unmarked 11;
+  check_kinds "stale on unchecked marks" [] m
+
+(* --- bypass freshness --- *)
+
+let test_bypass_freshness () =
+  let m = make () in
+  Monitor.on_write m ~addr:2 7;
+  Monitor.on_write m ~addr:2 8;
+  Monitor.on_read m ~proc:0 ~addr:2 ~mark:Event.Bypass_read 8;
+  check_kinds "bypass sees latest" [] m;
+  Monitor.on_read m ~proc:0 ~addr:2 ~mark:Event.Bypass_read 7;
+  check_kinds "bypass sees stale" [ "stale-bypass" ] m;
+  (* before any write, memory holds zero *)
+  let m = make () in
+  Monitor.on_read m ~proc:0 ~addr:0 ~mark:Event.Bypass_read 0;
+  check_kinds "bypass zero" [] m
+
+(* --- epoch boundaries --- *)
+
+let test_boundary_shape () =
+  let m = make ~processors:2 () in
+  boundary m ~stalls:[| 3; 0 |];
+  check_kinds "correct shape" [] m;
+  Alcotest.(check int) "one boundary" 1 (Monitor.boundaries m);
+  boundary m ~stalls:[| 1 |];
+  check_kinds "short stall array" [ "boundary-shape" ] m;
+  Alcotest.(check int) "still counted" 2 (Monitor.boundaries m)
+
+let test_negative_stall () =
+  let m = make ~processors:2 () in
+  boundary m ~stalls:[| 0; -1 |];
+  check_kinds "negative stall" [ "negative-stall" ] m
+
+let test_boundary_advances_window () =
+  (* the same read flips from ok to violating once enough boundaries pass *)
+  let m = make () in
+  Monitor.on_write m ~addr:0 5;
+  Monitor.on_write m ~addr:0 6;
+  boundary m;
+  Monitor.on_read m ~proc:0 ~addr:0 ~mark:(Event.Time_read 1) 5;
+  check_kinds "still in window" [] m;
+  boundary m;
+  Monitor.on_read m ~proc:0 ~addr:0 ~mark:(Event.Time_read 1) 5;
+  check_kinds "window moved past it" [ "stale-time-read" ] m
+
+(* --- reporting --- *)
+
+let test_violation_cap () =
+  let m = make () in
+  for _ = 1 to Monitor.max_violations + 10 do
+    Monitor.on_read m ~proc:0 ~addr:0 ~mark:Event.Unmarked 99
+  done;
+  Alcotest.(check int) "report capped" Monitor.max_violations (List.length (Monitor.report m))
+
+let test_violation_detail () =
+  let m = make () in
+  boundary m;
+  Monitor.on_read m ~proc:1 ~addr:3 ~mark:Event.Unmarked 99;
+  match Monitor.report m with
+  | [ v ] ->
+    Alcotest.(check int) "epoch" 1 v.Monitor.epoch;
+    Alcotest.(check int) "proc" 1 v.Monitor.proc;
+    Alcotest.(check int) "addr" 3 v.Monitor.addr
+  | vs -> Alcotest.failf "expected one violation, got %d" (List.length vs)
+
+let suite =
+  [
+    Alcotest.test_case "phantom value" `Quick test_phantom_value;
+    Alcotest.test_case "bounds" `Quick test_bounds;
+    Alcotest.test_case "time-read window" `Quick test_time_read_window;
+    Alcotest.test_case "phantom precedence" `Quick test_time_read_phantom_precedence;
+    Alcotest.test_case "unchecked marks" `Quick test_unchecked_marks_tolerate_stale;
+    Alcotest.test_case "bypass freshness" `Quick test_bypass_freshness;
+    Alcotest.test_case "boundary shape" `Quick test_boundary_shape;
+    Alcotest.test_case "negative stall" `Quick test_negative_stall;
+    Alcotest.test_case "boundary advances window" `Quick test_boundary_advances_window;
+    Alcotest.test_case "violation cap" `Quick test_violation_cap;
+    Alcotest.test_case "violation detail" `Quick test_violation_detail;
+  ]

@@ -8,8 +8,10 @@
                    bit-identical to the boxed one or allocates >= 8
                    minor-heap words per event, when the streaming trace
                    builder diverges from boxed-generation + pack or
-                   allocates too much per generated event, or when a
-                   timing-knob sweep fails to share compiled traces
+                   allocates too much per generated event, when a
+                   timing-knob sweep fails to share compiled traces, or
+                   when the sharded engine diverges from the shards=1
+                   result or grossly regresses the single-core loop
                    (the @perf-smoke alias)
      --json PATH   also write the measurements as JSON *)
 
@@ -42,14 +44,27 @@ let () =
   Perf.print_compile_row gen;
   let cache = Perf.measure_cache () in
   Perf.print_cache_row cache;
+  (* sharded engine: aggregate ev/s, per-domain utilization and the
+     bit-identity gate; the full run adds the P=1024 scaling point *)
+  let sharded =
+    if smoke then
+      [ Perf.measure_sharded ~processors:16 ~n:512 ~iters:2 ~reps:1
+          ~shard_counts:[ 1; 2; 4 ] () ]
+    else
+      [ Perf.measure_sharded ();
+        Perf.measure_sharded ~processors:1024 ~n:8192 ~iters:2 ~reps:1 () ]
+  in
+  List.iter Perf.print_shard_report sharded;
   (match json_path with
   | Some path ->
     let oc = open_out path in
     output_string oc
-      (Printf.sprintf "{\n\"engine\": %s,\n\"tracegen\": %s,\n\"compile_cache\": %s\n}\n"
+      (Printf.sprintf
+         "{\n\"engine\": %s,\n\"tracegen\": %s,\n\"compile_cache\": %s,\n\"sharded_replay\": [\n%s\n]\n}\n"
          (String.trim (Perf.report_to_json report))
          (Perf.compile_row_to_json gen)
-         (Perf.cache_row_to_json cache));
+         (Perf.cache_row_to_json cache)
+         (String.concat ",\n" (List.map Perf.shard_report_to_json sharded)));
     close_out oc;
     Printf.printf "  json written to %s\n%!" path
   | None -> ());
@@ -78,4 +93,30 @@ let () =
       "throughput: FAIL compile cache (second sweep point regenerated traces: %d generations, \
        %d hits)\n"
       cache.Perf.cache_generations cache.Perf.cache_hits;
-  if bad <> [] || gen_bad || not cache.Perf.cache_ok then exit 1
+  (* hard gate: every sharded row bit-identical to shards=1 and to the
+     sequential engine on this (order-free) fixture. Soft wall-clock gate:
+     the sharded run at shards=1 must not be grossly slower than the
+     sequential engine on the same whole-simulation basis — a generous 5x
+     bound so shared-box noise cannot trip it, while a pathological
+     per-event slowdown still fails. *)
+  let shard_bad =
+    List.concat_map
+      (fun (rep : Perf.shard_report) ->
+        List.filter_map
+          (fun (row : Perf.shard_row) ->
+            if not (row.Perf.sh_identical && row.Perf.sh_engine_identical) then
+              Some (rep, row, "diverged")
+            else if
+              row.Perf.sh_shards = 1 && row.Perf.sh_eps *. 5.0 < row.Perf.sh_engine_eps
+            then Some (rep, row, "single-core regression > 5x")
+            else None)
+          rep.Perf.shp_rows)
+      sharded
+  in
+  List.iter
+    (fun ((rep : Perf.shard_report), (row : Perf.shard_row), why) ->
+      Printf.eprintf "throughput: FAIL sharded %s x%d at P=%d (%s; %.0f ev/s vs %.0f engine)\n"
+        row.Perf.sh_scheme row.Perf.sh_shards rep.Perf.shp_processors why row.Perf.sh_eps
+        row.Perf.sh_engine_eps)
+    shard_bad;
+  if bad <> [] || gen_bad || (not cache.Perf.cache_ok) || shard_bad <> [] then exit 1

@@ -59,6 +59,9 @@ let wrap fault ~processors (Scheme.Packed ((module S), s)) : Scheme.packed =
       | Skip_epoch_boundary -> Array.make processors 0
       | _ -> S.epoch_boundary s
 
+    (* fault-injected instances are never sharded *)
+    let boundary_exchange (_ : t array) = ()
+
     let stats () = S.stats s
     let memory_image () = S.memory_image s
     let snapshot () = S.snapshot s

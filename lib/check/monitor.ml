@@ -125,6 +125,9 @@ let wrap m (Scheme.Packed ((module S), s)) : Scheme.packed =
       on_boundary m stalls;
       stalls
 
+    (* monitored instances are never sharded *)
+    let boundary_exchange (_ : t array) = ()
+
     let stats () = S.stats s
     let memory_image () = S.memory_image s
     let snapshot () = S.snapshot s

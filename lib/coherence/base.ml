@@ -48,6 +48,9 @@ let write t ~proc ~addr ~array:(_ : int) ~value ~mark:_ =
 
 let epoch_boundary t = Array.make t.cfg.processors 0
 
+(* all state is per memory line, which the sharded engine never splits *)
+let boundary_exchange (_ : t array) = ()
+
 let stats t = t.st
 
 let memory_image t = t.mem.Memstate.values

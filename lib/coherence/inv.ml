@@ -66,6 +66,9 @@ let epoch_boundary t =
     w.caches;
   Array.make w.cfg.processors 0
 
+(* caches and memory are per line; no cross-shard state *)
+let boundary_exchange (_ : t array) = ()
+
 let stats t = t.w.st
 
 let memory_image t = t.w.Wt_common.mem.Memstate.values

@@ -54,6 +54,9 @@ let write t ~proc ~addr ~array ~value ~mark =
 
 let epoch_boundary t = Hwdir.epoch_boundary t.hw
 
+(* per-line like the underlying directory; trap accounting is per access *)
+let boundary_exchange (_ : t array) = ()
+
 let stats t = Hwdir.stats t.hw
 
 let traps t = t.traps

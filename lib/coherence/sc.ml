@@ -54,6 +54,9 @@ let epoch_boundary t =
   Wt_common.drain_buffers t.w;
   Array.make t.w.cfg.processors 0
 
+(* caches and memory are per line; no cross-shard state *)
+let boundary_exchange (_ : t array) = ()
+
 let stats t = t.w.st
 
 let memory_image t = t.w.Wt_common.mem.Memstate.values

@@ -112,6 +112,10 @@ let epoch_boundary t =
   end;
   stalls
 
+(* the epoch counter advances in lockstep in every slice and word
+   timetags are per cache line — nothing to exchange *)
+let boundary_exchange (_ : t array) = ()
+
 let stats t = t.w.st
 
 let memory_image t = t.w.Wt_common.mem.Memstate.values

@@ -93,6 +93,40 @@ let of_program ?(check_races = true) ?(line_words = 4) (program : Ast.program) =
 (* Packed structure-of-arrays form                                     *)
 (* ------------------------------------------------------------------ *)
 
+(** Unboxed int slabs backing the packed form. [Bigarray] rather than
+    [int array] so a slab can either live on the OCaml heap or be a
+    zero-copy view into an [Unix.map_file]d trace file — the engine
+    replays both through the same accessors. Elements are OCaml ints
+    (63-bit); on disk they are the same 8-byte little-endian words the
+    binary trace format writes, so mapping is a reinterpretation, not a
+    decode. *)
+module Slab = struct
+  type t = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+  let create n : t =
+    let s = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n in
+    Bigarray.Array1.fill s 0;
+    s
+
+  let length : t -> int = Bigarray.Array1.dim
+  let get : t -> int -> int = Bigarray.Array1.get
+  let set : t -> int -> int -> unit = Bigarray.Array1.set
+
+  (** Zero-copy sub-view sharing the underlying storage. *)
+  let sub : t -> int -> int -> t = Bigarray.Array1.sub
+
+  (** Copy the first [len] elements of [a] into a fresh slab. *)
+  let of_int_array_sub (a : int array) len =
+    let s = Bigarray.Array1.create Bigarray.int Bigarray.c_layout len in
+    for i = 0 to len - 1 do
+      Bigarray.Array1.unsafe_set s i (Array.unsafe_get a i)
+    done;
+    s
+
+  let of_int_array a = of_int_array_sub a (Array.length a)
+  let to_int_array (s : t) = Array.init (length s) (Bigarray.Array1.get s)
+end
+
 type ptask = {
   p_iter : int;
   off : int;  (** first slot of this task's events in the slabs *)
@@ -104,11 +138,11 @@ type ptask = {
 type pepoch = { p_kind : epoch_kind; p_tasks : ptask array; p_n_tickets : int }
 
 type packed = {
-  ops : int array;  (** {!Hscd_arch.Event.Code} opcode per slot *)
-  addrs : int array;  (** address (or cycle count for compute slots) *)
-  values : int array;  (** golden value per read/write slot *)
-  marks : int array;  (** rmark/wmark code, interpreted per opcode *)
-  arrs : int array;  (** interned array id per read/write slot *)
+  ops : Slab.t;  (** {!Hscd_arch.Event.Code} opcode per slot *)
+  addrs : Slab.t;  (** address (or cycle count for compute slots) *)
+  values : Slab.t;  (** golden value per read/write slot *)
+  marks : Slab.t;  (** rmark/wmark code, interpreted per opcode *)
+  arrs : Slab.t;  (** interned array id per read/write slot *)
   p_epochs : pepoch array;
   symtab : Hscd_util.Symtab.t;  (** array-name interning, {!Shape.layout} base order *)
   rmark_table : Event.rmark array;  (** decode table indexed by mark code *)
@@ -189,11 +223,11 @@ let pack (t : t) =
       t.epochs
   in
   {
-    ops;
-    addrs;
-    values;
-    marks;
-    arrs;
+    ops = Slab.of_int_array ops;
+    addrs = Slab.of_int_array addrs;
+    values = Slab.of_int_array values;
+    marks = Slab.of_int_array marks;
+    arrs = Slab.of_int_array arrs;
     p_epochs;
     symtab;
     rmark_table = Event.Code.rmark_table ~max_code:!max_rcode;
@@ -458,7 +492,7 @@ module Builder = struct
     in
     (* trim to the live prefix: the packed form should not retain the
        doubling slack, and [pack] produces exact-size slabs *)
-    let exact a = if Array.length a = b.pos then a else Array.sub a 0 b.pos in
+    let exact a = Slab.of_int_array_sub a b.pos in
     {
       ops = exact b.ops;
       addrs = exact b.addrs;
@@ -563,23 +597,23 @@ let unpack (p : packed) : t =
                 let events =
                   Array.init pt.len (fun j ->
                       let i = pt.off + j in
-                      let op = p.ops.(i) in
-                      if op = Event.Code.compute then Event.Compute p.addrs.(i)
+                      let op = Slab.get p.ops i in
+                      if op = Event.Code.compute then Event.Compute (Slab.get p.addrs i)
                       else if op = Event.Code.read then
                         Event.Read
                           {
-                            addr = p.addrs.(i);
-                            mark = Event.Code.rmark_of p.marks.(i);
-                            value = p.values.(i);
-                            array = Hscd_util.Symtab.name p.symtab p.arrs.(i);
+                            addr = Slab.get p.addrs i;
+                            mark = Event.Code.rmark_of (Slab.get p.marks i);
+                            value = Slab.get p.values i;
+                            array = Hscd_util.Symtab.name p.symtab (Slab.get p.arrs i);
                           }
                       else if op = Event.Code.write then
                         Event.Write
                           {
-                            addr = p.addrs.(i);
-                            mark = Event.Code.wmark_of p.marks.(i);
-                            value = p.values.(i);
-                            array = Hscd_util.Symtab.name p.symtab p.arrs.(i);
+                            addr = Slab.get p.addrs i;
+                            mark = Event.Code.wmark_of (Slab.get p.marks i);
+                            value = Slab.get p.values i;
+                            array = Hscd_util.Symtab.name p.symtab (Slab.get p.arrs i);
                           }
                       else if op = Event.Code.lock then Event.Lock
                       else Event.Unlock)
@@ -605,7 +639,7 @@ let packed_memory_words (p : packed) = max 1 p.p_layout.Shape.total_words
     is just as resident. *)
 let packed_slab_words (p : packed) =
   let task_words = 8 (* 5 fields + header + ~2 amortized epoch overhead *) in
-  (5 * max 1 (Array.length p.ops))
+  (5 * max 1 (Slab.length p.ops))
   + Array.fold_left (fun acc e -> acc + (task_words * Array.length e.p_tasks)) 0 p.p_epochs
 
 (* --- packed-native trace statistics (no boxed form required) --- *)
@@ -621,11 +655,156 @@ let packed_n_parallel_epochs (p : packed) =
 let packed_access_counts (p : packed) =
   let reads = ref 0 and writes = ref 0 in
   for i = 0 to p.n_slots - 1 do
-    let op = p.ops.(i) in
+    let op = Slab.get p.ops i in
     if op = Event.Code.read then incr reads
     else if op = Event.Code.write then incr writes
   done;
   (!reads, !writes)
+
+(* ------------------------------------------------------------------ *)
+(* Shard plan: address partition for multi-domain replay               *)
+(* ------------------------------------------------------------------ *)
+
+(** Partition of a packed trace's memory accesses across replay shards,
+    plus everything the sharded engine needs to reconstruct the
+    sequential engine's timing without replaying in clock order.
+
+    The partition is by cache-set group: an address's shard is
+    [set_index(line) mod shards], so every access to one memory line —
+    and every line competing for the same cache set — lands in the same
+    shard. Caches (LRU within a set), directory entries, and per-line
+    memory state therefore decompose exactly: each shard replays its
+    slots in trace order against its own scheme slice and no slice ever
+    observes another's lines.
+
+    Timing is reconstructed per epoch from *cost bins*: each processor's
+    event stream in an epoch is cut into segments at its Lock/Unlock
+    events (2·locks+1 segments). Static compute cost per bin is
+    precomputed here; shards accumulate dynamic access latencies into
+    per-bin counters during replay; at the epoch barrier a single pass
+    over the tickets in global order reproduces the engine's
+    critical-section serialization (lock waits, release times) exactly —
+    valid because under static scheduling a processor's events execute
+    in slot order and only lock grants couple processors inside an
+    epoch. *)
+module Shard = struct
+  type epoch_plan = {
+    sp_nbins : int;
+    sp_bin_proc : int array;  (** bin -> executing processor *)
+    sp_bin_static : int array;  (** bin -> compute cycles (work statements) *)
+    sp_proc_bin0 : int array;  (** proc -> its first bin this epoch *)
+    sp_ticket_proc : int array;  (** ticket -> processor holding it *)
+    sp_compute_total : int;  (** sum of all compute cycles in the epoch *)
+  }
+
+  type plan = {
+    sh_shards : int;
+    sh_epochs : epoch_plan array;
+    sh_slots : Slab.t array;  (** shard -> owned read/write slots, ascending *)
+    sh_bins : Slab.t array;  (** shard -> epoch-local bin of each owned slot *)
+    sh_off : int array array;  (** shard -> epoch -> first index in [sh_slots] *)
+    sh_max_bins : int;  (** max [sp_nbins] over epochs (scratch sizing) *)
+  }
+
+  (** Owning shard of an address: the line's cache-set index modulo the
+      shard count. Also the owner used when merging final memory images. *)
+  let shard_of_addr (cfg : Hscd_arch.Config.t) ~shards addr =
+    ((addr / cfg.line_words) land (Hscd_arch.Config.sets cfg - 1)) mod shards
+
+  let build (cfg : Hscd_arch.Config.t) ~shards (p : packed) =
+    if shards < 1 then invalid_arg "Trace.Shard.build: shards must be >= 1";
+    let procs = cfg.processors in
+    let n_eps = Array.length p.p_epochs in
+    let shard_of = shard_of_addr cfg ~shards in
+    (* pass 1: per-shard, per-epoch slot counts *)
+    let counts = Array.init shards (fun _ -> Array.make n_eps 0) in
+    Array.iteri
+      (fun e (pe : pepoch) ->
+        Array.iter
+          (fun (t : ptask) ->
+            for i = t.off to t.off + t.len - 1 do
+              let op = Slab.get p.ops i in
+              if op = Event.Code.read || op = Event.Code.write then
+                let s = shard_of (Slab.get p.addrs i) in
+                counts.(s).(e) <- counts.(s).(e) + 1
+            done)
+          pe.p_tasks)
+      p.p_epochs;
+    let sh_off =
+      Array.init shards (fun s ->
+          let off = Array.make (n_eps + 1) 0 in
+          for e = 0 to n_eps - 1 do
+            off.(e + 1) <- off.(e) + counts.(s).(e)
+          done;
+          off)
+    in
+    let sh_slots = Array.init shards (fun s -> Slab.create sh_off.(s).(n_eps)) in
+    let sh_bins = Array.init shards (fun s -> Slab.create sh_off.(s).(n_eps)) in
+    let cursor = Array.make shards 0 in
+    let seg = Array.make procs 0 in
+    let max_bins = ref 0 in
+    (* pass 2: fill shard slots (trace order within each shard) and build
+       every epoch's bin structure and ticket->proc map *)
+    let sh_epochs =
+      Array.map
+        (fun (pe : pepoch) ->
+          let ntasks = Array.length pe.p_tasks in
+          let serial = match pe.p_kind with Serial -> true | Parallel _ -> false in
+          let proc_of rank = if serial then 0 else Schedule.static_proc cfg ~ntasks rank in
+          let nsegs = Array.make procs 1 in
+          Array.iteri
+            (fun rank (t : ptask) ->
+              let pr = proc_of rank in
+              nsegs.(pr) <- nsegs.(pr) + (2 * t.n_locks))
+            pe.p_tasks;
+          let sp_proc_bin0 = Array.make procs 0 in
+          for pr = 1 to procs - 1 do
+            sp_proc_bin0.(pr) <- sp_proc_bin0.(pr - 1) + nsegs.(pr - 1)
+          done;
+          let sp_nbins = sp_proc_bin0.(procs - 1) + nsegs.(procs - 1) in
+          if sp_nbins > !max_bins then max_bins := sp_nbins;
+          let sp_bin_proc = Array.make sp_nbins 0 in
+          for pr = 0 to procs - 1 do
+            for k = 0 to nsegs.(pr) - 1 do
+              sp_bin_proc.(sp_proc_bin0.(pr) + k) <- pr
+            done
+          done;
+          let sp_bin_static = Array.make sp_nbins 0 in
+          let sp_ticket_proc = Array.make pe.p_n_tickets 0 in
+          let total = ref 0 in
+          Array.fill seg 0 procs 0;
+          Array.iteri
+            (fun rank (t : ptask) ->
+              let pr = proc_of rank in
+              for k = 0 to t.n_locks - 1 do
+                sp_ticket_proc.(t.ticket0 + k) <- pr
+              done;
+              for i = t.off to t.off + t.len - 1 do
+                let op = Slab.get p.ops i in
+                if op = Event.Code.compute then begin
+                  let n = Slab.get p.addrs i in
+                  sp_bin_static.(sp_proc_bin0.(pr) + seg.(pr)) <-
+                    sp_bin_static.(sp_proc_bin0.(pr) + seg.(pr)) + n;
+                  total := !total + n
+                end
+                else if op = Event.Code.read || op = Event.Code.write then begin
+                  let s = shard_of (Slab.get p.addrs i) in
+                  let j = cursor.(s) in
+                  Slab.set sh_slots.(s) j i;
+                  Slab.set sh_bins.(s) j (sp_proc_bin0.(pr) + seg.(pr));
+                  cursor.(s) <- j + 1
+                end
+                else
+                  (* lock or unlock: a segment boundary in [pr]'s stream *)
+                  seg.(pr) <- seg.(pr) + 1
+              done)
+            pe.p_tasks;
+          { sp_nbins; sp_bin_proc; sp_bin_static; sp_proc_bin0; sp_ticket_proc;
+            sp_compute_total = !total })
+        p.p_epochs
+    in
+    { sh_shards = shards; sh_epochs; sh_slots; sh_bins; sh_off; sh_max_bins = max 1 !max_bins }
+end
 
 let n_epochs t = Array.length t.epochs
 

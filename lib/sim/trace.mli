@@ -20,10 +20,34 @@ type t = {
 val of_program : ?check_races:bool -> ?line_words:int -> Hscd_lang.Ast.program -> t
 
 (** Packed structure-of-arrays form — the engine's native input. Each
-    task's event stream lives in parallel unboxed [int array] slabs
+    task's event stream lives in parallel unboxed slabs
     (opcode, address, value, mark code, interned array id), built once at
     trace-compile time; the replay hot path decodes events by index
     without constructing a single variant. *)
+
+(** Unboxed int slabs backing the packed form: [Bigarray.Array1] of OCaml
+    ints, so a slab is either heap-allocated or a zero-copy view into an
+    [Unix.map_file]d binary trace ({!Trace_io.map_packed}) — the engine
+    replays both through the same accessors. *)
+module Slab : sig
+  type t = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+  (** Fresh zero-filled slab. *)
+  val create : int -> t
+
+  val length : t -> int
+  val get : t -> int -> int
+  val set : t -> int -> int -> unit
+
+  (** Zero-copy sub-view sharing the underlying storage. *)
+  val sub : t -> int -> int -> t
+
+  (** Copy the first [len] elements of an [int array] into a fresh slab. *)
+  val of_int_array_sub : int array -> int -> t
+
+  val of_int_array : int array -> t
+  val to_int_array : t -> int array
+end
 
 type ptask = {
   p_iter : int;
@@ -36,11 +60,11 @@ type ptask = {
 type pepoch = { p_kind : epoch_kind; p_tasks : ptask array; p_n_tickets : int }
 
 type packed = {
-  ops : int array;  (** {!Hscd_arch.Event.Code} opcode per slot *)
-  addrs : int array;  (** address (or cycle count for compute slots) *)
-  values : int array;  (** golden value per read/write slot *)
-  marks : int array;  (** rmark/wmark code, interpreted per opcode *)
-  arrs : int array;  (** interned array id per read/write slot *)
+  ops : Slab.t;  (** {!Hscd_arch.Event.Code} opcode per slot *)
+  addrs : Slab.t;  (** address (or cycle count for compute slots) *)
+  values : Slab.t;  (** golden value per read/write slot *)
+  marks : Slab.t;  (** rmark/wmark code, interpreted per opcode *)
+  arrs : Slab.t;  (** interned array id per read/write slot *)
   p_epochs : pepoch array;
   symtab : Hscd_util.Symtab.t;  (** array-name interning, layout base order *)
   rmark_table : Hscd_arch.Event.rmark array;  (** decode table by mark code *)
@@ -104,6 +128,42 @@ val packed_memory_words : packed -> int
 (** Approximate live heap words of the packed slabs (counts capacity,
     including builder growth headroom), for footprint reporting. *)
 val packed_slab_words : packed -> int
+
+(** Address partition and timing-reconstruction plan for the sharded
+    multi-domain replay ({!Engine.run_sharded}). Accesses are partitioned
+    by cache-set group, so lines, cache sets, directory entries and
+    per-line memory state never split across shards; per-epoch cost bins
+    (processor event segments delimited by Lock/Unlock) let the epoch
+    barrier reproduce the sequential engine's lock serialization from
+    per-bin latency sums. Requires static scheduling. *)
+module Shard : sig
+  type epoch_plan = {
+    sp_nbins : int;
+    sp_bin_proc : int array;  (** bin -> executing processor *)
+    sp_bin_static : int array;  (** bin -> compute cycles (work statements) *)
+    sp_proc_bin0 : int array;  (** proc -> its first bin this epoch *)
+    sp_ticket_proc : int array;  (** ticket -> processor holding it *)
+    sp_compute_total : int;  (** sum of all compute cycles in the epoch *)
+  }
+
+  type plan = {
+    sh_shards : int;
+    sh_epochs : epoch_plan array;
+    sh_slots : Slab.t array;  (** shard -> owned read/write slots, ascending *)
+    sh_bins : Slab.t array;  (** shard -> epoch-local bin of each owned slot *)
+    sh_off : int array array;  (** shard -> epoch -> first index in [sh_slots] *)
+    sh_max_bins : int;  (** max [sp_nbins] over epochs (scratch sizing) *)
+  }
+
+  (** Owning shard of an address: the line's cache-set index modulo the
+      shard count. Also the owner used when merging final memory images. *)
+  val shard_of_addr : Hscd_arch.Config.t -> shards:int -> int -> int
+
+  (** Build the partition. Raises [Invalid_argument] on [shards < 1] or
+      dynamic scheduling (use {!Run.simulate_packed_sharded} for the typed
+      error). *)
+  val build : Hscd_arch.Config.t -> shards:int -> packed -> plan
+end
 
 val packed_n_epochs : packed -> int
 val packed_n_parallel_epochs : packed -> int

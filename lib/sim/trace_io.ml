@@ -191,9 +191,9 @@ let equal (a : Trace.t) (b : Trace.t) =
   && a.layout.Shape.total_words = b.layout.Shape.total_words
 
 (* ------------------------------------------------------------------ *)
-(* Binary trace format v2: direct dumps of the packed slabs.           *)
+(* Binary trace formats: direct dumps of the packed slabs.             *)
 (*                                                                     *)
-(* Layout (all ints 8-byte little-endian two's complement):            *)
+(* v2 layout (all ints 8-byte little-endian two's complement):         *)
 (*   magic "HSCDTRC2"                                                  *)
 (*   total_words, n_arrays, then per array: name, base, n_dims, dims   *)
 (*   golden_len, n_nonzero, then (index, value) pairs                  *)
@@ -204,9 +204,28 @@ let equal (a : Trace.t) (b : Trace.t) =
 (*     n_tasks, then per task: iter off len ticket0 n_locks            *)
 (*   five slabs, live slots only: ops addrs values marks arrs          *)
 (*   checksum (avalanche mix folded over every value above)            *)
+(*                                                                     *)
+(* v3 ("HSCDTRC3", written by [write_packed], mappable) moves all      *)
+(* integrity data into the header so the slabs can be loaded zero-copy *)
+(* with [Unix.map_file] and validated lazily:                          *)
+(*   header identical to v2 through the epoch/task descriptors, then   *)
+(*   chunk_words, and per slab ceil(n_slots/chunk_words) chunk         *)
+(*   checksums (row-major: slab 0's chunks, then slab 1's, ...), each  *)
+(*   seeded with the slab and chunk index so swapped or relocated      *)
+(*   chunks cannot cancel out; then the header checksum (raw, over     *)
+(*   everything above including the chunk table); then zero padding to *)
+(*   an 8-byte file offset; then the five slabs as raw unchecksummed   *)
+(*   words (their integrity is the chunk table's). Nothing follows the *)
+(*   slabs, so the expected file length is known from the header.      *)
 (* ------------------------------------------------------------------ *)
 
-let binary_magic = "HSCDTRC2"
+let binary_magic_v2 = "HSCDTRC2"
+let binary_magic = "HSCDTRC3"
+
+(** Slab words covered by one v3 chunk checksum (512 KiB of file). *)
+let chunk_words = 65536
+
+module Slab = Trace.Slab
 
 (* order-sensitive avalanche fold — a single flipped bit anywhere in the
    stream avalanches through the final sum *)
@@ -216,11 +235,20 @@ let mix h v =
 
 let corrupt what = Err.fail Err.Corrupt "Trace_io: corrupt binary trace (%s)" what
 
+(* domain-separated seed per (slab, chunk): a chunk that checks out in the
+   wrong slot is still rejected *)
+let chunk_seed slab c = mix (mix 0 (0xC0FFEE + slab)) c
+
+let chunks_of ~n ~cw = if n = 0 then 0 else ((n - 1) / cw) + 1
+
 type bin_writer = { oc : out_channel; wscratch : Bytes.t; mutable wsum : int }
 
-let put_int w v =
+let put_raw w v =
   Bytes.set_int64_le w.wscratch 0 (Int64.of_int v);
-  output_bytes w.oc w.wscratch;
+  output_bytes w.oc w.wscratch
+
+let put_int w v =
+  put_raw w v;
   w.wsum <- mix w.wsum v
 
 let put_str w s =
@@ -228,7 +256,7 @@ let put_str w s =
   output_string w.oc s;
   String.iter (fun c -> w.wsum <- mix w.wsum (Char.code c)) s
 
-let write_packed_channel oc (p : Trace.packed) =
+let write_packed_channel ?(chunk_words = chunk_words) oc (p : Trace.packed) =
   output_string oc binary_magic;
   let w = { oc; wscratch = Bytes.create 8; wsum = 0 } in
   (* address map *)
@@ -284,35 +312,92 @@ let write_packed_channel oc (p : Trace.packed) =
           put_int w t.n_locks)
         e.p_tasks)
     p.Trace.p_epochs;
-  (* slabs — live slots only (builder-grown capacity is not persisted) *)
+  (* chunk checksum table: computed over the live slab words before the
+     slabs themselves are written, and folded into the header checksum so
+     the table is tamper-evident *)
   let n = p.Trace.n_slots in
-  let dump a =
-    for i = 0 to n - 1 do
-      put_int w a.(i)
-    done
-  in
-  dump p.Trace.ops;
-  dump p.Trace.addrs;
-  dump p.Trace.values;
-  dump p.Trace.marks;
-  dump p.Trace.arrs;
-  (* trailing checksum, written raw (not folded into itself) *)
-  Bytes.set_int64_le w.wscratch 0 (Int64.of_int w.wsum);
-  output_bytes oc w.wscratch
+  let cw = chunk_words in
+  put_int w cw;
+  let slabs = [| p.Trace.ops; p.Trace.addrs; p.Trace.values; p.Trace.marks; p.Trace.arrs |] in
+  let nchunks = chunks_of ~n ~cw in
+  Array.iteri
+    (fun j s ->
+      for c = 0 to nchunks - 1 do
+        let sum = ref (chunk_seed j c) in
+        for i = c * cw to min n ((c + 1) * cw) - 1 do
+          sum := mix !sum (Slab.get s i)
+        done;
+        put_int w !sum
+      done)
+    slabs;
+  (* header checksum, written raw (not folded into itself) *)
+  put_raw w w.wsum;
+  (* zero padding to an 8-byte file offset, so [Unix.map_file] can map
+     the slab region directly as a word-aligned [Bigarray] *)
+  let pad = (8 - (pos_out oc mod 8)) mod 8 in
+  for _ = 1 to pad do
+    output_char oc '\000'
+  done;
+  (* slabs — live slots only (builder-grown capacity is not persisted);
+     raw words, covered by the chunk table rather than the header sum *)
+  Array.iter
+    (fun s ->
+      for i = 0 to n - 1 do
+        put_raw w (Slab.get s i)
+      done)
+    slabs
 
-let write_packed path p =
+(* [chunk_words] is the lazy-validation granule of the chunk table; the
+   default suits real traces, tests shrink it to exercise multi-chunk
+   maps without gigantic fixtures. *)
+let write_packed ?chunk_words path p =
   let oc = open_out_bin path in
-  (try write_packed_channel oc p
+  (try write_packed_channel ?chunk_words oc p
    with exn ->
      close_out_noerr oc;
      raise exn);
   close_out oc
 
-type bin_reader = { ic : in_channel; rscratch : Bytes.t; mutable rsum : int; rlimit : int }
+(* Buffered reader: decodes words out of a 64 KiB block buffer instead of
+   issuing one [really_input] per 8-byte field — the scalar-read path cost
+   dominated binary loading before slab I/O went through [Bytes] blocks. *)
+type bin_reader = {
+  ic : in_channel;
+  rbuf : Bytes.t;
+  mutable rpos : int;  (* read cursor within [rbuf] *)
+  mutable rlen : int;  (* valid bytes in [rbuf] *)
+  mutable rbase : int;  (* file offset of [rbuf]'s first byte *)
+  mutable rsum : int;
+  rlimit : int;  (* total file length *)
+}
+
+let reader ic =
+  { ic; rbuf = Bytes.create 65536; rpos = 0; rlen = 0; rbase = pos_in ic; rsum = 0;
+    rlimit = in_channel_length ic }
+
+(* absolute file offset of the next unconsumed byte *)
+let tell r = r.rbase + r.rpos
+
+(* make at least [n] bytes (n <= buffer size) available at [rpos] *)
+let ensure r n =
+  if r.rlen - r.rpos < n then begin
+    let rem = r.rlen - r.rpos in
+    Bytes.blit r.rbuf r.rpos r.rbuf 0 rem;
+    r.rbase <- r.rbase + r.rpos;
+    r.rpos <- 0;
+    r.rlen <- rem;
+    while r.rlen < n do
+      let k = input r.ic r.rbuf r.rlen (Bytes.length r.rbuf - r.rlen) in
+      if k = 0 then corrupt "truncated";
+      r.rlen <- r.rlen + k
+    done
+  end
 
 let get_raw_int r =
-  (try really_input r.ic r.rscratch 0 8 with End_of_file -> corrupt "truncated");
-  Int64.to_int (Bytes.get_int64_le r.rscratch 0)
+  ensure r 8;
+  let v = Int64.to_int (Bytes.get_int64_le r.rbuf r.rpos) in
+  r.rpos <- r.rpos + 8;
+  v
 
 let get_int r =
   let v = get_raw_int r in
@@ -330,10 +415,21 @@ let get_count r what =
 let get_str r =
   let n = get_count r "string length" in
   let b = Bytes.create n in
-  (try really_input r.ic b 0 n with End_of_file -> corrupt "truncated");
+  let filled = ref 0 in
+  while !filled < n do
+    if r.rpos >= r.rlen then ensure r 1;
+    let k = min (n - !filled) (r.rlen - r.rpos) in
+    Bytes.blit r.rbuf r.rpos b !filled k;
+    r.rpos <- r.rpos + k;
+    filled := !filled + k
+  done;
   let s = Bytes.unsafe_to_string b in
   String.iter (fun c -> r.rsum <- mix r.rsum (Char.code c)) s;
   s
+
+let skip r n =
+  ensure r n;
+  r.rpos <- r.rpos + n
 
 (* explicit in-order loop: the reader is effectful, so Array.init /
    List.init (unspecified application order) must not drive it *)
@@ -341,13 +437,36 @@ let read_seq n f =
   let rec go n acc = if n = 0 then List.rev acc else go (n - 1) (f () :: acc) in
   go n []
 
-let read_packed_channel ic : Trace.packed =
-  let magic = Bytes.create (String.length binary_magic) in
-  (try really_input ic magic 0 (Bytes.length magic)
-   with End_of_file -> corrupt "not a binary trace: short file");
-  if Bytes.to_string magic <> binary_magic then
-    corrupt "not a binary trace: bad magic";
-  let r = { ic; rscratch = Bytes.create 8; rsum = 0; rlimit = in_channel_length ic } in
+type version = V2 | V3
+
+let read_magic r =
+  if r.rlimit - tell r < 8 then corrupt "not a binary trace: short file";
+  ensure r 8;
+  let m = Bytes.sub_string r.rbuf r.rpos 8 in
+  r.rpos <- r.rpos + 8;
+  if m = binary_magic then V3
+  else if m = binary_magic_v2 then V2
+  else corrupt "not a binary trace: bad magic"
+
+(* everything before the slab region, parsed and validated eagerly by
+   both the buffered and the mmap loaders *)
+type header = {
+  h_layout : Shape.layout;
+  h_golden : int array;
+  h_symtab : Hscd_util.Symtab.t;
+  h_n_syms : int;
+  h_max_code : int;
+  h_rmark_table : Event.rmark array;
+  h_total_events : int;
+  h_n_slots : int;
+  h_max_tickets : int;
+  h_epochs : Trace.pepoch array;
+  h_chunk_words : int;  (** v3 only; 0 for v2 *)
+  h_sums : int array;  (** v3 only; [5 * nchunks], row-major by slab *)
+  h_slab_base : int;  (** v3 only; absolute file offset of the slab region *)
+}
+
+let read_header r version : header =
   let total_words = get_count r "total_words" in
   let n_arrays = get_count r "array count" in
   let array_list =
@@ -410,43 +529,125 @@ let read_packed_channel ic : Trace.packed =
         { Trace.p_kind; p_tasks = Array.of_list task_list; p_n_tickets })
   in
   let p_epochs = Array.of_list epoch_list in
-  (* slabs at [pack]'s canonical capacity *)
-  let slab () =
-    let a = Array.make (max 1 n_slots) 0 in
-    for i = 0 to n_slots - 1 do
-      a.(i) <- get_int r
-    done;
-    a
+  let h =
+    {
+      h_layout = layout;
+      h_golden = golden;
+      h_symtab = symtab;
+      h_n_syms = n_syms;
+      h_max_code = max_code;
+      h_rmark_table = rmark_table;
+      h_total_events = p_total_events;
+      h_n_slots = n_slots;
+      h_max_tickets = p_max_tickets;
+      h_epochs = p_epochs;
+      h_chunk_words = 0;
+      h_sums = [||];
+      h_slab_base = 0;
+    }
   in
-  let ops = slab () in
-  let addrs = slab () in
-  let values = slab () in
-  let marks = slab () in
-  let arrs = slab () in
-  for i = 0 to n_slots - 1 do
-    let op = ops.(i) in
+  match version with
+  | V2 -> h
+  | V3 ->
+    (* not an item count (a small trace still records the full chunk
+       granule), so range-check directly instead of via [get_count] *)
+    let cw = get_int r in
+    if cw < 1 || cw > 1 lsl 30 then corrupt "chunk words";
+    let nchunks = chunks_of ~n:n_slots ~cw in
+    let sums = Array.make (5 * nchunks) 0 in
+    for i = 0 to (5 * nchunks) - 1 do
+      sums.(i) <- get_int r
+    done;
+    let sum = r.rsum in
+    if get_raw_int r <> sum then corrupt "header checksum mismatch";
+    skip r ((8 - (tell r mod 8)) mod 8);
+    let slab_base = tell r in
+    (* nothing follows the slabs, so truncation (and trailing junk) is
+       caught before any slab word is read or mapped *)
+    if r.rlimit <> slab_base + (5 * n_slots * 8) then corrupt "file length";
+    { h with h_chunk_words = cw; h_sums = sums; h_slab_base = slab_base }
+
+(* per-slot structural validation; ops/marks/arrs interplay means it runs
+   over a slot range, not per chunk *)
+let validate_slots ~ops ~marks ~arrs ~n_syms ~max_code lo hi =
+  for i = lo to hi - 1 do
+    let op = Slab.get ops i in
     if op < Event.Code.compute || op > Event.Code.unlock then corrupt "opcode";
-    if (op = Event.Code.read || op = Event.Code.write) && (arrs.(i) < 0 || arrs.(i) >= n_syms)
+    if
+      (op = Event.Code.read || op = Event.Code.write)
+      && (Slab.get arrs i < 0 || Slab.get arrs i >= n_syms)
     then corrupt "array id";
-    if op = Event.Code.read && (marks.(i) < 0 || marks.(i) > max_code) then corrupt "mark code"
-  done;
-  let sum = r.rsum in
-  if get_raw_int r <> sum then corrupt "checksum mismatch";
+    if op = Event.Code.read && (Slab.get marks i < 0 || Slab.get marks i > max_code) then
+      corrupt "mark code"
+  done
+
+let packed_of_header (h : header) slabs : Trace.packed =
   {
-    Trace.ops;
-    addrs;
-    values;
-    marks;
-    arrs;
-    p_epochs;
-    symtab;
-    rmark_table;
-    p_layout = layout;
-    p_golden = golden;
-    p_total_events;
-    n_slots;
-    p_max_tickets;
+    Trace.ops = slabs.(0);
+    addrs = slabs.(1);
+    values = slabs.(2);
+    marks = slabs.(3);
+    arrs = slabs.(4);
+    p_epochs = h.h_epochs;
+    symtab = h.h_symtab;
+    rmark_table = h.h_rmark_table;
+    p_layout = h.h_layout;
+    p_golden = h.h_golden;
+    p_total_events = h.h_total_events;
+    n_slots = h.h_n_slots;
+    p_max_tickets = h.h_max_tickets;
   }
+
+(* one v3 slab via the buffered reader, verifying each chunk as it
+   streams past *)
+let read_slab_v3 r ~n ~cw ~sums ~slab =
+  let s = Slab.create (max 1 n) in
+  let nchunks = chunks_of ~n ~cw in
+  for c = 0 to nchunks - 1 do
+    let sum = ref (chunk_seed slab c) in
+    for i = c * cw to min n ((c + 1) * cw) - 1 do
+      let v = get_raw_int r in
+      Slab.set s i v;
+      sum := mix !sum v
+    done;
+    if !sum <> sums.((slab * nchunks) + c) then corrupt "slab chunk checksum"
+  done;
+  s
+
+let read_packed_channel ic : Trace.packed =
+  let r = reader ic in
+  let version = read_magic r in
+  let h = read_header r version in
+  let n = h.h_n_slots in
+  let slabs =
+    match version with
+    | V2 ->
+      (* slabs at [pack]'s canonical capacity *)
+      let slab () =
+        let s = Slab.create (max 1 n) in
+        for i = 0 to n - 1 do
+          Slab.set s i (get_int r)
+        done;
+        s
+      in
+      let ops = slab () in
+      let addrs = slab () in
+      let values = slab () in
+      let marks = slab () in
+      let arrs = slab () in
+      let sum = r.rsum in
+      if get_raw_int r <> sum then corrupt "checksum mismatch";
+      [| ops; addrs; values; marks; arrs |]
+    | V3 ->
+      let out = Array.make 5 (Slab.create 1) in
+      for j = 0 to 4 do
+        out.(j) <- read_slab_v3 r ~n ~cw:h.h_chunk_words ~sums:h.h_sums ~slab:j
+      done;
+      out
+  in
+  validate_slots ~ops:slabs.(0) ~marks:slabs.(3) ~arrs:slabs.(4) ~n_syms:h.h_n_syms
+    ~max_code:h.h_max_code 0 n;
+  packed_of_header h slabs
 
 (** Load a binary packed trace, validating structure and checksum; raises
     [Hscd_error.Error] (kind [Corrupt]) on anything truncated, corrupt,
@@ -475,15 +676,178 @@ let read_packed_result path =
 let load_result path =
   Err.guard ~default:Err.Parse ~context:path (fun () -> load path)
 
-(** Cheap sniff: does [path] start with the binary magic? (Lets the CLI
-    auto-detect binary vs. text traces.) *)
+(* ------------------------------------------------------------------ *)
+(* Zero-copy loading: the v3 slab region [Unix.map_file]d straight into  *)
+(* the packed trace's Bigarray slabs. The header is parsed and verified  *)
+(* eagerly (it is small); slab words are faulted in by the kernel on     *)
+(* first access and checked lazily, one 512 KiB chunk at a time, as the  *)
+(* replay front reaches them — opening a trace and replaying its first   *)
+(* epoch touches O(header + first epoch) bytes, not O(file).             *)
+(* ------------------------------------------------------------------ *)
+
+(* per-epoch [lo, hi) slot span, for chunk-granular lazy validation *)
+let epoch_spans (p : Trace.packed) =
+  Array.map
+    (fun (e : Trace.pepoch) ->
+      Array.fold_left
+        (fun (lo, hi) (t : Trace.ptask) -> (min lo t.Trace.off, max hi (t.Trace.off + t.Trace.len)))
+        (max_int, 0) e.Trace.p_tasks
+      |> fun (lo, hi) -> if hi <= 0 then (0, 0) else (lo, hi))
+    p.Trace.p_epochs
+
+module Mapped = struct
+  type t = {
+    m_trace : Trace.packed;
+    m_chunk_words : int;
+    m_nchunks : int;  (* per slab *)
+    m_sums : int array;  (* [5 * m_nchunks]; unused once every chunk is ok *)
+    m_chunk_ok : Bytes.t;  (* memo: '\001' once a chunk checksum verified *)
+    m_epoch_ok : Bytes.t;  (* memo: '\001' once an epoch's slots verified *)
+    m_spans : (int * int) array;
+    m_n_syms : int;
+    m_max_code : int;
+  }
+
+  let trace m = m.m_trace
+
+  let slab_of m j =
+    let p = m.m_trace in
+    match j with
+    | 0 -> p.Trace.ops
+    | 1 -> p.Trace.addrs
+    | 2 -> p.Trace.values
+    | 3 -> p.Trace.marks
+    | _ -> p.Trace.arrs
+
+  let validate_chunk m j c =
+    let idx = (j * m.m_nchunks) + c in
+    if Bytes.get m.m_chunk_ok idx = '\000' then begin
+      let s = slab_of m j in
+      let n = m.m_trace.Trace.n_slots in
+      let cw = m.m_chunk_words in
+      let sum = ref (chunk_seed j c) in
+      for i = c * cw to min n ((c + 1) * cw) - 1 do
+        sum := mix !sum (Slab.get s i)
+      done;
+      if !sum <> m.m_sums.(idx) then corrupt "slab chunk checksum";
+      Bytes.set m.m_chunk_ok idx '\001'
+    end
+
+  (** Verify every chunk overlapping epoch [e]'s slot span plus the
+      structural per-slot invariants, memoized. Raises [Hscd_error.Error]
+      (kind [Corrupt]) — wire it to {!Engine.run}'s [on_epoch] so a
+      corrupted region is rejected when replay reaches it. *)
+  let validate_epoch m e =
+    if e >= 0 && e < Bytes.length m.m_epoch_ok && Bytes.get m.m_epoch_ok e = '\000' then begin
+      let lo, hi = m.m_spans.(e) in
+      if hi > lo then begin
+        let cw = m.m_chunk_words in
+        for j = 0 to 4 do
+          for c = lo / cw to (hi - 1) / cw do
+            validate_chunk m j c
+          done
+        done;
+        validate_slots ~ops:(slab_of m 0) ~marks:(slab_of m 3) ~arrs:(slab_of m 4)
+          ~n_syms:m.m_n_syms ~max_code:m.m_max_code lo hi
+      end;
+      Bytes.set m.m_epoch_ok e '\001'
+    end
+
+  (** Force full validation (all chunks, all epochs) — the sharded replay
+      planner walks every slot up front, so it calls this first. *)
+  let validate_all m =
+    for j = 0 to 4 do
+      for c = 0 to m.m_nchunks - 1 do
+        validate_chunk m j c
+      done
+    done;
+    for e = 0 to Bytes.length m.m_epoch_ok - 1 do
+      validate_epoch m e
+    done
+
+  (* a trace loaded eagerly through the buffered reader: everything is
+     already verified, the memos start full *)
+  let of_validated (p : Trace.packed) =
+    let nchunks = chunks_of ~n:p.Trace.n_slots ~cw:chunk_words in
+    {
+      m_trace = p;
+      m_chunk_words = chunk_words;
+      m_nchunks = nchunks;
+      m_sums = [||];
+      m_chunk_ok = Bytes.make (5 * nchunks) '\001';
+      m_epoch_ok = Bytes.make (Array.length p.Trace.p_epochs) '\001';
+      m_spans = epoch_spans p;
+      m_n_syms = Array.length (Hscd_util.Symtab.names p.Trace.symtab);
+      m_max_code = Array.length p.Trace.rmark_table - 1;
+    }
+end
+
+(** Open a binary packed trace with the slab region memory-mapped
+    zero-copy. v2 traces, big-endian hosts, and empty slab regions fall
+    back to the buffered reader (returning a fully validated {!Mapped.t});
+    v3 traces on little-endian hosts map the file and validate lazily.
+    Raises [Hscd_error.Error]: [Io] for OS/mmap failures, [Corrupt] for
+    header damage (slab damage surfaces from {!Mapped.validate_epoch}). *)
+let map_packed path : Mapped.t =
+  let ic = try open_in_bin path with Sys_error m -> Err.fail Err.Io "Trace_io: %s" m in
+  let m =
+    try
+      let r = reader ic in
+      let version = read_magic r in
+      let fallback () =
+        seek_in ic 0;
+        Mapped.of_validated (read_packed_channel ic)
+      in
+      match version with
+      | V2 -> fallback ()
+      | V3 ->
+        let h = read_header r V3 in
+        if Sys.big_endian || h.h_n_slots = 0 then fallback ()
+        else begin
+          let region =
+            try
+              Bigarray.array1_of_genarray
+                (Unix.map_file (Unix.descr_of_in_channel ic)
+                   ~pos:(Int64.of_int h.h_slab_base) Bigarray.int Bigarray.c_layout false
+                   [| 5 * h.h_n_slots |])
+            with Unix.Unix_error (e, _, _) ->
+              Err.fail Err.Io "Trace_io: mmap %s: %s" path (Unix.error_message e)
+          in
+          let slab j = Slab.sub region (j * h.h_n_slots) h.h_n_slots in
+          let p = packed_of_header h [| slab 0; slab 1; slab 2; slab 3; slab 4 |] in
+          let nchunks = chunks_of ~n:h.h_n_slots ~cw:h.h_chunk_words in
+          {
+            Mapped.m_trace = p;
+            m_chunk_words = h.h_chunk_words;
+            m_nchunks = nchunks;
+            m_sums = h.h_sums;
+            m_chunk_ok = Bytes.make (5 * nchunks) '\000';
+            m_epoch_ok = Bytes.make (Array.length h.h_epochs) '\000';
+            m_spans = epoch_spans p;
+            m_n_syms = h.h_n_syms;
+            m_max_code = h.h_max_code;
+          }
+        end
+    with exn ->
+      close_in_noerr ic;
+      raise exn
+  in
+  close_in ic;
+  m
+
+(** {!map_packed} as a [result], mirroring {!read_packed_result}. *)
+let map_packed_result path = Err.guard ~context:path (fun () -> map_packed path)
+
+(** Cheap sniff: does [path] start with a binary magic (either version)?
+    (Lets the CLI auto-detect binary vs. text traces.) *)
 let is_binary path =
   let ic = open_in_bin path in
   let b = Bytes.create (String.length binary_magic) in
   let ok =
     try
       really_input ic b 0 (Bytes.length b);
-      Bytes.to_string b = binary_magic
+      let m = Bytes.to_string b in
+      m = binary_magic || m = binary_magic_v2
     with End_of_file -> false
   in
   close_in_noerr ic;
@@ -495,10 +859,10 @@ let is_binary path =
     address map, and golden memory. *)
 let equal_packed (a : Trace.packed) (b : Trace.packed) =
   let n = a.Trace.n_slots in
-  let prefix_equal (x : int array) (y : int array) =
-    Array.length x >= n && Array.length y >= n
+  let prefix_equal (x : Slab.t) (y : Slab.t) =
+    Slab.length x >= n && Slab.length y >= n
     &&
-    let rec go i = i >= n || (x.(i) = y.(i) && go (i + 1)) in
+    let rec go i = i >= n || (Slab.get x i = Slab.get y i && go (i + 1)) in
     go 0
   in
   n = b.Trace.n_slots

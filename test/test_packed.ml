@@ -57,14 +57,14 @@ let test_pack_structure () =
   let boxed = Run.boxed_trace c in
   Alcotest.(check int) "event count preserved" boxed.Trace.total_events p.Trace.p_total_events;
   Alcotest.(check bool) "slots cover events" true (p.Trace.n_slots >= p.Trace.p_total_events);
-  Alcotest.(check int) "parallel slabs same length" (Array.length p.Trace.ops)
-    (Array.length p.Trace.addrs);
-  Alcotest.(check int) "value slab same length" (Array.length p.Trace.ops)
-    (Array.length p.Trace.values);
-  Alcotest.(check int) "mark slab same length" (Array.length p.Trace.ops)
-    (Array.length p.Trace.marks);
-  Alcotest.(check int) "array-id slab same length" (Array.length p.Trace.ops)
-    (Array.length p.Trace.arrs);
+  Alcotest.(check int) "parallel slabs same length" (Trace.Slab.length p.Trace.ops)
+    (Trace.Slab.length p.Trace.addrs);
+  Alcotest.(check int) "value slab same length" (Trace.Slab.length p.Trace.ops)
+    (Trace.Slab.length p.Trace.values);
+  Alcotest.(check int) "mark slab same length" (Trace.Slab.length p.Trace.ops)
+    (Trace.Slab.length p.Trace.marks);
+  Alcotest.(check int) "array-id slab same length" (Trace.Slab.length p.Trace.ops)
+    (Trace.Slab.length p.Trace.arrs);
   Alcotest.(check int) "epoch count preserved"
     (Array.length boxed.Trace.epochs)
     (Array.length p.Trace.p_epochs);

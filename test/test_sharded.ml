@@ -1,0 +1,182 @@
+(** Sharded replay: the bit-identity gate. [Run.simulate_packed_sharded]
+    must return the same result at every shard count — the partition can
+    decide only *where* an access is replayed, never what the run
+    computes. Against the sequential engine the contract is weaker,
+    because the sharded engine replays each slice in trace (slot) order
+    while the engine interleaves by clock: on fixtures where the
+    difference is unobservable (no contended lines whose scheme latency
+    or classification depends on the interleaving) the results are fully
+    identical, and that is asserted per curated (fixture, scheme) pair
+    below; on adversarial corpus traces only the order-free verdicts
+    (final-memory agreement) are pinned. Also covers the parallel
+    (domain-team) path against the inline path, the monomorphized
+    BASE/TPI loops against the generic one, and the typed usage errors. *)
+
+module Config = Hscd_arch.Config
+module Run = Hscd_sim.Run
+module Trace = Hscd_sim.Trace
+module Trace_io = Hscd_sim.Trace_io
+module Err = Hscd_util.Hscd_error
+module Kernels = Hscd_workloads.Kernels
+
+let shard_counts = [ 2; 3; 4; 8 ]
+
+(* All comparisons run the inline (sequential) sharded path: it is
+   state-for-state identical to the domain-team path by construction, and
+   the CI box may have a single core. The team path gets its own test. *)
+let check_invariance ?(cfg = Config.default) ?(schemes = Run.extended_schemes) name packed =
+  List.iter
+    (fun kind ->
+      let reference = Run.simulate_packed_sharded ~cfg ~parallel:false ~shards:1 kind packed in
+      List.iter
+        (fun shards ->
+          let r = Run.simulate_packed_sharded ~cfg ~parallel:false ~shards kind packed in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s: shards=%d = shards=1" name (Run.scheme_name kind) shards)
+            true (r = reference))
+        shard_counts)
+    schemes
+
+let check_matches_engine ?(cfg = Config.default) ~schemes name packed =
+  List.iter
+    (fun kind ->
+      let sharded = Run.simulate_packed_sharded ~cfg ~parallel:false ~shards:1 kind packed in
+      let engine = Run.simulate_packed ~cfg kind packed in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s/%s: sharded(1) = engine" name (Run.scheme_name kind))
+        true (sharded = engine))
+    schemes
+
+(* Write-through schemes classify per epoch, not per interleaving, so the
+   full result survives reordering on uncontended fixtures; HW/LimitLESS
+   invalidation latency counts sharers at access time and is pinned only
+   where sharing patterns make the order unobservable. *)
+let order_free_schemes = [ Run.Base; Run.SC; Run.INV; Run.VC; Run.TPI ]
+
+let kernel_fixtures () =
+  [
+    ("jacobi1d", Run.compile ~cache:false (Kernels.jacobi1d ~n:64 ~iters:3 ()));
+    ("reduction", Run.compile ~cache:false (Kernels.reduction ~n:48 ()));
+    ("matmul", Run.compile ~cache:false (Kernels.matmul ~n:10 ()));
+  ]
+
+let test_invariance_kernels () =
+  List.iter
+    (fun (name, c) -> check_invariance name c.Run.packed_trace)
+    (kernel_fixtures ());
+  let engine_pairs =
+    [ ("jacobi1d", Kernels.jacobi1d ~n:64 ~iters:3 (), order_free_schemes);
+      ("reduction", Kernels.reduction ~n:48 (), order_free_schemes);
+      ("matmul", Kernels.matmul ~n:10 (), [ Run.Base; Run.VC ]) ]
+  in
+  List.iter
+    (fun (name, prog, schemes) ->
+      let c = Run.compile ~cache:false prog in
+      check_matches_engine ~schemes name c.Run.packed_trace)
+    engine_pairs
+
+let test_invariance_many_processors () =
+  let cfg = { Config.default with processors = 32 } in
+  let c = Run.compile ~cfg ~cache:false (Kernels.boundary_exchange ~n:128 ~iters:2 ()) in
+  check_invariance ~cfg "boundary@32" c.Run.packed_trace;
+  (* symmetric sharing: every scheme, directory ones included, is fully
+     pinned to the sequential engine here *)
+  check_matches_engine ~cfg ~schemes:Run.extended_schemes "boundary@32" c.Run.packed_trace
+
+let corpus_files () =
+  (* cwd is test/ under `dune runtest`, the workspace root under `dune exec` *)
+  let dir = if Sys.file_exists "corpus" then "corpus" else Filename.concat "test" "corpus" in
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".trace")
+    |> List.sort compare
+  in
+  Alcotest.(check bool) "corpus present" true (files <> []);
+  List.map (fun f -> (f, Trace_io.load (Filename.concat dir f))) files
+
+let test_invariance_corpus () =
+  (* the full fuzz + model-checker corpus, every scheme: shard counts must
+     be unobservable; against the engine only the order-free final-memory
+     verdict is pinned (these traces are adversarial interleavings) *)
+  List.iter
+    (fun (f, trace) ->
+      let packed = Trace.pack trace in
+      check_invariance f packed;
+      List.iter
+        (fun kind ->
+          let a = Run.simulate_packed_sharded ~parallel:false ~shards:1 kind packed in
+          let b = Run.simulate_packed kind packed in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s: memory verdict = engine" f (Run.scheme_name kind))
+            b.memory_ok a.memory_ok)
+        Run.extended_schemes)
+    (corpus_files ())
+
+let test_invariance_perfect () =
+  (* acceptance bar: every Perfect Club model (test scale), all schemes
+     shard-invariant; BASE (stateless per access) also pinned to the
+     engine on each *)
+  List.iter
+    (fun (e : Hscd_workloads.Perfect.entry) ->
+      let c = Run.compile ~cache:false (e.build_small ()) in
+      check_invariance e.name c.Run.packed_trace;
+      check_matches_engine ~schemes:[ Run.Base ] e.name c.Run.packed_trace)
+    Hscd_workloads.Perfect.all
+
+let test_parallel_team_matches_inline () =
+  (* the domain-team path against the inline path: identical state
+     evolution, so identical results — on any number of cores *)
+  let c = Run.compile ~cache:false (Kernels.jacobi1d ~n:64 ~iters:2 ()) in
+  let packed = c.Run.packed_trace in
+  List.iter
+    (fun kind ->
+      let inline = Run.simulate_packed_sharded ~parallel:false ~shards:4 kind packed in
+      let team = Run.simulate_packed_sharded ~parallel:true ~shards:4 kind packed in
+      Alcotest.(check bool)
+        (Run.scheme_name kind ^ ": team = inline")
+        true (team = inline))
+    Run.extended_schemes
+
+let test_mapped_sharded () =
+  (* sharded replay straight off a memory-mapped binary trace *)
+  let c = Run.compile ~cache:false (Kernels.reduction ~n:32 ()) in
+  let path = Filename.concat (Filename.get_temp_dir_name ()) "hscd_sharded_map.hscdtrc" in
+  Trace_io.write_packed path c.Run.packed_trace;
+  let m = Trace_io.map_packed path in
+  let expect = Run.simulate_packed_sharded ~parallel:false ~shards:4 Run.SC c.Run.packed_trace in
+  let got = Run.simulate_mapped_sharded ~parallel:false ~shards:4 Run.SC m in
+  Sys.remove path;
+  Alcotest.(check bool) "mapped sharded = in-memory sharded" true (got = expect)
+
+let expect_usage name f =
+  match f () with
+  | exception Err.Error { Err.kind = Err.Usage; _ } -> ()
+  | exception e -> Alcotest.fail (name ^ ": expected a typed Usage error, got " ^ Printexc.to_string e)
+  | _ -> Alcotest.fail (name ^ ": expected a typed Usage error")
+
+let test_typed_usage_errors () =
+  let c = Run.compile ~cache:false (Kernels.jacobi1d ~n:16 ~iters:1 ()) in
+  let packed = c.Run.packed_trace in
+  expect_usage "shards=0" (fun () ->
+      Run.simulate_packed_sharded ~parallel:false ~shards:0 Run.SC packed);
+  expect_usage "dynamic scheduling" (fun () ->
+      let cfg = { Config.default with scheduling = Config.Dynamic } in
+      Run.simulate_packed_sharded ~cfg ~parallel:false ~shards:2 Run.SC packed);
+  (* migration requires dynamic scheduling (Config.validate enforces the
+     combination), so the migration gate is reached with both set *)
+  expect_usage "dynamic + migration" (fun () ->
+      let cfg =
+        { Config.default with scheduling = Config.Dynamic; migration_rate = 0.25 }
+      in
+      Run.simulate_packed_sharded ~cfg ~parallel:false ~shards:2 Run.SC packed)
+
+let suite =
+  [
+    Alcotest.test_case "invariance: kernels, all schemes" `Quick test_invariance_kernels;
+    Alcotest.test_case "invariance: 32 processors" `Quick test_invariance_many_processors;
+    Alcotest.test_case "invariance: fuzz + mc corpus" `Quick test_invariance_corpus;
+    Alcotest.test_case "invariance: Perfect Club models" `Slow test_invariance_perfect;
+    Alcotest.test_case "domain team = inline" `Quick test_parallel_team_matches_inline;
+    Alcotest.test_case "mapped trace, sharded" `Quick test_mapped_sharded;
+    Alcotest.test_case "typed usage errors" `Quick test_typed_usage_errors;
+  ]

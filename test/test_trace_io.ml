@@ -256,6 +256,103 @@ let test_binary_rejects_corruption () =
   | Error e -> Alcotest.(check bool) "missing file: io kind" true (e.kind = Hscd_util.Hscd_error.Io)
   | Ok _ -> Alcotest.fail "missing file accepted"
 
+(* ---------- memory-mapped loading ---------- *)
+
+let test_mmap_roundtrip () =
+  let c = Run.compile ~cache:false (Hscd_workloads.Kernels.matmul ~n:10 ()) in
+  let path = tmp "hscd_map_rt.hscdtrc" in
+  Trace_io.write_packed path c.Run.packed_trace;
+  let m = Trace_io.map_packed path in
+  Trace_io.Mapped.validate_all m;
+  Alcotest.(check bool) "mapped slabs = written slabs" true
+    (Trace_io.equal_packed c.Run.packed_trace (Trace_io.Mapped.trace m));
+  (* replay straight off the map, lazy validation in the epoch hook *)
+  let m2 = Trace_io.map_packed path in
+  List.iter
+    (fun kind ->
+      Alcotest.(check bool)
+        (Run.scheme_name kind ^ ": mapped replay identical")
+        true
+        (Run.simulate_mapped kind m2 = Run.simulate_packed kind c.Run.packed_trace))
+    [ Run.Base; Run.TPI; Run.HW ];
+  Sys.remove path
+
+let test_mmap_lazy_validation () =
+  (* a corrupt byte in the last epoch's slab span: the map opens, early
+     epochs validate, and the damage surfaces — as a typed [Corrupt] —
+     only when validation reaches the chunk that covers it *)
+  let c = Run.compile ~cache:false (Hscd_workloads.Kernels.jacobi1d ~n:64 ~iters:3 ()) in
+  let p = c.Run.packed_trace in
+  let n_eps = Array.length p.Trace.p_epochs in
+  Alcotest.(check bool) "fixture has several epochs" true (n_eps > 2);
+  Alcotest.(check bool) "fixture spans several chunks" true (p.Trace.n_slots > 256);
+  let path = tmp "hscd_map_lazy.hscdtrc" in
+  (* a small chunk granule so the fixture covers many chunks per slab *)
+  Trace_io.write_packed ~chunk_words:64 path p;
+  (* the latest live slot and the epoch owning it (slab capacity may pad
+     past the last task, and padding slots belong to no epoch) *)
+  let target_epoch = ref 0 and target_slot = ref 0 in
+  Array.iteri
+    (fun e (pe : Trace.pepoch) ->
+      Array.iter
+        (fun (t : Trace.ptask) ->
+          if t.Trace.off + t.Trace.len > !target_slot + 1 then begin
+            target_slot := t.Trace.off + t.Trace.len - 1;
+            target_epoch := e
+          end)
+        pe.Trace.p_tasks)
+    p.Trace.p_epochs;
+  Alcotest.(check bool) "damage lands outside epoch 0's chunks" true (!target_epoch > 0);
+  (* flip a byte of the target slot's word in the last (arrs) slab; the
+     file ends exactly at the slab region's end, so offsets resolve from
+     the tail without knowing the header size *)
+  let file_len = (Unix.stat path).Unix.st_size in
+  let n = p.Trace.n_slots in
+  Hscd_check.Fault.Chaos.corrupt_file path
+    ~byte:(file_len - ((n - !target_slot) * 8) + 3);
+  let m = Trace_io.map_packed path in
+  Trace_io.Mapped.validate_epoch m 0;
+  (match Trace_io.Mapped.validate_epoch m !target_epoch with
+  | exception Hscd_util.Hscd_error.Error { kind = Hscd_util.Hscd_error.Corrupt; _ } -> ()
+  | exception e ->
+    Alcotest.fail ("expected Corrupt from the damaged epoch, got " ^ Printexc.to_string e)
+  | () -> Alcotest.fail "damaged epoch validated");
+  (* a fresh map still opens; validating everything finds the damage *)
+  let m2 = Trace_io.map_packed path in
+  (match Trace_io.Mapped.validate_all m2 with
+  | exception Hscd_util.Hscd_error.Error { kind = Hscd_util.Hscd_error.Corrupt; _ } -> ()
+  | exception e -> Alcotest.fail ("expected Corrupt from validate_all, got " ^ Printexc.to_string e)
+  | () -> Alcotest.fail "validate_all accepted a damaged map");
+  (* the eager reader agrees the file is bad *)
+  (match Trace_io.read_packed_result path with
+  | Error e ->
+    Alcotest.(check bool) "eager read: corrupt kind" true (e.kind = Hscd_util.Hscd_error.Corrupt)
+  | Ok _ -> Alcotest.fail "eager read accepted a damaged file");
+  Sys.remove path
+
+let test_mmap_header_corruption_rejected_eagerly () =
+  (* damage in the header/descriptor section must fail at [map_packed]
+     itself — only slab chunks are validated lazily *)
+  let c = Run.compile ~cache:false (Hscd_workloads.Kernels.reduction ~n:16 ()) in
+  let path = tmp "hscd_map_hdr.hscdtrc" in
+  Trace_io.write_packed path c.Run.packed_trace;
+  Hscd_check.Fault.Chaos.corrupt_file path ~byte:24;
+  (match Trace_io.map_packed_result path with
+  | Error e ->
+    Alcotest.(check bool) "header damage: corrupt kind" true
+      (e.kind = Hscd_util.Hscd_error.Corrupt)
+  | Ok _ -> Alcotest.fail "map accepted a damaged header");
+  (* truncation inside the slab region also fails at open: the region
+     cannot be mapped at its declared size *)
+  Trace_io.write_packed path c.Run.packed_trace;
+  Hscd_check.Fault.Chaos.truncate_file path ~drop:16;
+  (match Trace_io.map_packed_result path with
+  | Error e ->
+    Alcotest.(check bool) "truncated map: corrupt kind" true
+      (e.kind = Hscd_util.Hscd_error.Corrupt)
+  | Ok _ -> Alcotest.fail "map accepted a truncated file");
+  Sys.remove path
+
 let suite =
   [
     Alcotest.test_case "round-trip stencil" `Quick test_roundtrip_stencil;
@@ -271,4 +368,8 @@ let suite =
       test_binary_roundtrip_generated;
     Alcotest.test_case "binary replay equivalence" `Quick test_binary_replay_equivalence;
     Alcotest.test_case "binary rejects corruption" `Quick test_binary_rejects_corruption;
+    Alcotest.test_case "mmap: round-trip and replay" `Quick test_mmap_roundtrip;
+    Alcotest.test_case "mmap: lazy chunk validation" `Quick test_mmap_lazy_validation;
+    Alcotest.test_case "mmap: header damage fails at open" `Quick
+      test_mmap_header_corruption_rejected_eagerly;
   ]

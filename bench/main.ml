@@ -80,7 +80,8 @@ let micro_tests =
            (Hscd_coherence.Tpi.write tpi ~proc:(a mod 16) ~addr:a ~array:0 ~value:a
               ~mark:Hscd_arch.Event.Normal_write)
        done;
-       Staged.stage (fun () -> ignore (Hscd_coherence.Tpi.epoch_boundary tpi)));
+       let stalls = Array.make cfg.Hscd_arch.Config.processors 0 in
+       Staged.stage (fun () -> Hscd_coherence.Tpi.epoch_boundary tpi ~stalls));
     (* exectime: BASE simulation *)
     Test.make ~name:"exectime/simulate_base_jacobi64" (staged_simulate Hscd_sim.Run.Base);
     (* wcache: write-buffer coalescing *)

@@ -4,19 +4,36 @@
    paths.
 
    Flags:
-     --smoke       capped workload; exit 1 when the packed replay is not
-                   bit-identical to the boxed one or allocates >= 8
-                   minor-heap words per event, when the streaming trace
-                   builder diverges from boxed-generation + pack or
-                   allocates too much per generated event, when a
-                   timing-knob sweep fails to share compiled traces, or
-                   when the sharded engine diverges from the shards=1
-                   result or grossly regresses the single-core loop
-                   (the @perf-smoke alias)
+     --smoke       capped workload over all seven schemes; exit 1 when a
+                   packed replay is not bit-identical to the boxed one or
+                   crosses its per-scheme minor-words/event ceiling, when
+                   the streaming trace builder diverges from
+                   boxed-generation + pack or allocates too much per
+                   generated event, when a timing-knob sweep fails to
+                   share compiled traces, or when the sharded engine
+                   diverges from the shards=1 result, grossly regresses
+                   the single-core loop, or allocates words/event that
+                   scale with the shard count (the @perf-smoke alias)
      --json PATH   also write the measurements as JSON *)
 
-(* replay side: the engine decodes events without constructing variants *)
-let replay_words_cap = 8.0
+(* replay side: the engine decodes events without constructing variants.
+   Per-scheme minor-words/event ceilings at roughly 2x the measured smoke
+   values (BASE 1.3; SC/INV/VC/TPI 5.6; the directory schemes 8.9 — their
+   invalidation fan-out walks sharer sets): a scheme crossing its ceiling
+   has grown a new per-event allocation, not noise *)
+let replay_words_cap = function
+  | "BASE" -> 4.0
+  | "HW" | "LimitLESS" -> 16.0
+  | _ -> 8.0 (* SC, INV, VC, TPI *)
+
+(* sharded replay must not multiply allocation by shard count: each extra
+   shard adds only its slice bookkeeping, so words/event at the highest
+   shard count stays within a small factor (plus absolute slack for tiny
+   baselines) of the shards=1 run. This is the regression gate for the
+   per-shard machine-construction blowup, which scaled words/event
+   linearly in the shard count before lazy cache materialization. *)
+let sharded_scaling_factor = 1.5
+let sharded_scaling_slack = 8.0
 
 (* compile side: streaming generation appends into preallocated slabs, so
    per-slot allocation is interpreter overhead only (measured ~4.1 words
@@ -33,8 +50,10 @@ let () =
     !r
   in
   let report =
-    if smoke then Perf.measure ~processors:16 ~n:512 ~iters:2 ~reps:1 ()
-    else Perf.measure ()
+    if smoke then
+      Perf.measure ~processors:16 ~n:512 ~iters:2 ~reps:1
+        ~schemes:Hscd_sim.Run.extended_schemes ()
+    else Perf.measure ~schemes:Hscd_sim.Run.extended_schemes ()
   in
   Perf.print_report report;
   let gen =
@@ -72,14 +91,14 @@ let () =
   let bad =
     List.filter
       (fun (r : Perf.scheme_row) ->
-        (not r.identical) || r.minor_words_per_event >= replay_words_cap)
+        (not r.identical) || r.minor_words_per_event >= replay_words_cap r.scheme)
       report.Perf.rows
   in
   List.iter
     (fun (r : Perf.scheme_row) ->
       Printf.eprintf
         "throughput: FAIL %s (identical=%b, minor_words_per_event=%.2f >= %.1f?)\n" r.scheme
-        r.identical r.minor_words_per_event replay_words_cap)
+        r.identical r.minor_words_per_event (replay_words_cap r.scheme))
     bad;
   let gen_bad =
     (not gen.Perf.gen_identical) || gen.Perf.gen_stream_words_per_event >= gen_words_cap
@@ -113,10 +132,53 @@ let () =
           rep.Perf.shp_rows)
       sharded
   in
+  (* allocation-scaling gate: compare each scheme's highest-shard-count
+     row against its shards=1 row within the same report *)
+  let shard_alloc_bad =
+    List.concat_map
+      (fun (rep : Perf.shard_report) ->
+        let schemes =
+          List.sort_uniq compare
+            (List.map (fun (r : Perf.shard_row) -> r.Perf.sh_scheme) rep.Perf.shp_rows)
+        in
+        List.filter_map
+          (fun scheme ->
+            let rows =
+              List.filter
+                (fun (r : Perf.shard_row) -> r.Perf.sh_scheme = scheme)
+                rep.Perf.shp_rows
+            in
+            let at shards =
+              List.find_opt (fun (r : Perf.shard_row) -> r.Perf.sh_shards = shards) rows
+            in
+            let max_shards =
+              List.fold_left (fun m (r : Perf.shard_row) -> max m r.Perf.sh_shards) 1 rows
+            in
+            match (at 1, at max_shards) with
+            | Some one, Some top when max_shards > 1 ->
+              let cap =
+                (one.Perf.sh_minor_words_per_event *. sharded_scaling_factor)
+                +. sharded_scaling_slack
+              in
+              if top.Perf.sh_minor_words_per_event > cap then Some (rep, one, top, cap)
+              else None
+            | _ -> None)
+          schemes)
+      sharded
+  in
+  List.iter
+    (fun ((rep : Perf.shard_report), (one : Perf.shard_row), (top : Perf.shard_row), cap) ->
+      Printf.eprintf
+        "throughput: FAIL sharded %s at P=%d: words/event scales with shard count (%.2f at \
+         x%d vs %.2f at x1, cap %.2f)\n"
+        top.Perf.sh_scheme rep.Perf.shp_processors top.Perf.sh_minor_words_per_event
+        top.Perf.sh_shards one.Perf.sh_minor_words_per_event cap)
+    shard_alloc_bad;
   List.iter
     (fun ((rep : Perf.shard_report), (row : Perf.shard_row), why) ->
       Printf.eprintf "throughput: FAIL sharded %s x%d at P=%d (%s; %.0f ev/s vs %.0f engine)\n"
         row.Perf.sh_scheme row.Perf.sh_shards rep.Perf.shp_processors why row.Perf.sh_eps
         row.Perf.sh_engine_eps)
     shard_bad;
-  if bad <> [] || gen_bad || (not cache.Perf.cache_ok) || shard_bad <> [] then exit 1
+  if bad <> [] || gen_bad || (not cache.Perf.cache_ok) || shard_bad <> [] || shard_alloc_bad <> []
+  then exit 1

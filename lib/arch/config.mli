@@ -40,6 +40,10 @@ type t = {
   migration_rate : float;
       (** probability that a dynamically-scheduled task migrates to another
           processor mid-execution (Section 5; requires [Dynamic]) *)
+  tpi_eager_reset : bool;
+      (** model TPI's two-phase reset as the paper's eager flash-invalidate
+          scan instead of the default lazy (Tardis-style) timetag-cutoff
+          check — observably identical, kept as a differential oracle *)
 }
 
 val default : t

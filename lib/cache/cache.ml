@@ -21,11 +21,20 @@ type line = {
   mutable inv_pending : bool;  (** line was invalidated by a remote write *)
 }
 
+(* Sets materialize on first allocation into them: [ [||] ] marks an
+   untouched set. A P=1024 machine has 4M cache lines of which a typical
+   trace touches a small fraction; building them all eagerly used to
+   dominate whole-simulation time and minor-heap churn (and multiplied
+   per shard slice). [used] lists the materialized set indices densely so
+   whole-cache walks are O(resident), not O(capacity). *)
 type t = {
   sets : line array array;
+  assoc : int;
   line_words : int;
   line_shift : int;
   set_mask : int;
+  mutable used : int array;  (** dense list of materialized set indices *)
+  mutable n_used : int;
   mutable tick : int;
   mutable evictions : int;
 }
@@ -50,13 +59,32 @@ let make_line line_words =
 let create (c : Hscd_arch.Config.t) =
   let sets = Hscd_arch.Config.sets c in
   {
-    sets = Array.init sets (fun _ -> Array.init c.assoc (fun _ -> make_line c.line_words));
+    sets = Array.make sets [||];
+    assoc = c.assoc;
     line_words = c.line_words;
     line_shift = Hscd_util.Ints.ilog2 c.line_words;
     set_mask = sets - 1;
+    used = [||];
+    n_used = 0;
     tick = 0;
     evictions = 0;
   }
+
+let assoc t = t.assoc
+
+(* Build the frames of set [si] on its first allocation and record it in
+   the dense used list (amortized-doubling, so tiny caches stay tiny). *)
+let materialize t si =
+  let set = Array.init t.assoc (fun _ -> make_line t.line_words) in
+  t.sets.(si) <- set;
+  if t.n_used = Array.length t.used then begin
+    let grown = Array.make (max 8 (2 * t.n_used)) 0 in
+    Array.blit t.used 0 grown 0 t.n_used;
+    t.used <- grown
+  end;
+  t.used.(t.n_used) <- si;
+  t.n_used <- t.n_used + 1;
+  set
 
 let line_of_addr t addr = addr lsr t.line_shift
 let offset_of_addr t addr = addr land (t.line_words - 1)
@@ -100,7 +128,9 @@ let clear_line l =
     still invalid and all words invalid; the caller fills it. *)
 let allocate t ~on_evict addr =
   let mem_line = line_of_addr t addr in
-  let set = t.sets.(set_of_line t mem_line) in
+  let si = set_of_line t mem_line in
+  let set = t.sets.(si) in
+  let set = if Array.length set = 0 then materialize t si else set in
   (* reuse the matching frame if present (e.g. refetch of an invalidated
      line), else a free frame, else the LRU victim — one allocation-free
      index scan, a matching frame preferred over a free one *)
@@ -128,8 +158,16 @@ let allocate t ~on_evict addr =
   touch_lru t frame;
   frame
 
-(** Iterate over every resident line. *)
-let iter_lines t f = Array.iter (fun set -> Array.iter (fun l -> if l.state <> invalid_state then f l) set) t.sets
+(** Iterate over every resident line: O(materialized sets), in
+    materialization order (no caller depends on set order). *)
+let iter_lines t f =
+  for i = 0 to t.n_used - 1 do
+    let set = t.sets.(t.used.(i)) in
+    for j = 0 to Array.length set - 1 do
+      let l = set.(j) in
+      if l.state <> invalid_state then f l
+    done
+  done
 
 (** Number of currently valid lines (for occupancy stats/tests). *)
 let resident_lines t =
@@ -138,5 +176,7 @@ let resident_lines t =
   !n
 
 (** Frames in set/frame order, including invalid ones — snapshot encoders
-    walk the full geometry so equal states serialize identically. *)
+    walk the full geometry so equal states serialize identically. A set
+    never allocated into is the empty array; encoders treat it as [assoc]
+    invalid frames so materialization state never leaks into snapshots. *)
 let frame_sets t = t.sets

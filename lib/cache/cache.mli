@@ -21,7 +21,15 @@ type t
 
 val invalid_state : int
 
+(** Sets materialize lazily on first allocation: creation is O(sets)
+    pointer words, not O(lines × line_words) — the difference between
+    milliseconds and seconds when building a P=1024 machine (or one
+    machine per shard slice). *)
 val create : Hscd_arch.Config.t -> t
+
+(** Frames per set (1 = direct-mapped); snapshot encoders need it to
+    render unmaterialized sets. *)
+val assoc : t -> int
 
 val line_of_addr : t -> int -> int
 val offset_of_addr : t -> int -> int
@@ -38,11 +46,15 @@ val find : t -> int -> line option
     cleared; the caller fills it. *)
 val allocate : t -> on_evict:(line -> unit) -> int -> line
 
-(** Iterate over every resident line. *)
+(** Iterate over every resident line: O(materialized sets), in
+    materialization order. All callers are order-insensitive (flash
+    invalidations, occupancy counts). *)
 val iter_lines : t -> (line -> unit) -> unit
 
 val resident_lines : t -> int
 
 (** Frames in set/frame order, including invalid ones (for abstract-state
-    snapshot encoders that must walk the full cache geometry). *)
+    snapshot encoders that must walk the full cache geometry). A set
+    never allocated into is the empty array, standing for [assoc]
+    invalid frames. *)
 val frame_sets : t -> line array array

@@ -29,7 +29,7 @@ let name = function
   | Skip_epoch_boundary -> "skip-epoch-boundary"
   | Corrupt_read_value n -> Printf.sprintf "corrupt-read-%d" n
 
-let wrap fault ~processors (Scheme.Packed ((module S), s)) : Scheme.packed =
+let wrap fault ~processors:(_ : int) (Scheme.Packed ((module S), s)) : Scheme.packed =
   let reads = ref 0 in
   let module F = struct
     type t = unit
@@ -54,10 +54,10 @@ let wrap fault ~processors (Scheme.Packed ((module S), s)) : Scheme.packed =
 
     let write () ~proc ~addr ~array ~value ~mark = S.write s ~proc ~addr ~array ~value ~mark
 
-    let epoch_boundary () =
+    let epoch_boundary () ~stalls =
       match fault with
-      | Skip_epoch_boundary -> Array.make processors 0
-      | _ -> S.epoch_boundary s
+      | Skip_epoch_boundary -> Array.fill stalls 0 (Array.length stalls) 0
+      | _ -> S.epoch_boundary s ~stalls
 
     (* fault-injected instances are never sharded *)
     let boundary_exchange (_ : t array) = ()

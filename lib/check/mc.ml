@@ -194,8 +194,8 @@ let p_write packed ~proc ~addr ~value =
   | Scheme.Packed ((module S), s) ->
     ignore (S.write s ~proc ~addr ~array:0 ~value ~mark:Event.Normal_write)
 
-let p_boundary packed =
-  match packed with Scheme.Packed ((module S), s) -> S.epoch_boundary s
+let p_boundary packed ~stalls =
+  match packed with Scheme.Packed ((module S), s) -> S.epoch_boundary s ~stalls
 
 let p_memory packed = match packed with Scheme.Packed ((module S), s) -> S.memory_image s
 let p_snapshot packed = match packed with Scheme.Packed ((module S), s) -> S.snapshot s
@@ -263,9 +263,10 @@ let apply sim action =
       Bytes.set sim.migrated task '\001';
       sim.proc_of.(task) <- (sim.proc_of.(task) + 1) mod sim.cfg.Config.processors
     | Advance ->
-      let stalls = p_boundary sim.subject in
+      let stalls = Array.make sim.cfg.Config.processors 0 in
+      p_boundary sim.subject ~stalls;
       Monitor.on_boundary sim.monitor stalls;
-      ignore (p_boundary sim.reference);
+      p_boundary sim.reference ~stalls;
       sim.epoch <- sim.epoch + 1;
       Array.fill sim.owner 0 (Array.length sim.owner) (-1);
       Array.fill sim.accessed_by 0 (Array.length sim.accessed_by) (-1);

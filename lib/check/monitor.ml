@@ -120,10 +120,9 @@ let wrap m (Scheme.Packed ((module S), s)) : Scheme.packed =
       on_write m ~addr value;
       S.write s ~proc ~addr ~array ~value ~mark
 
-    let epoch_boundary () =
-      let stalls = S.epoch_boundary s in
-      on_boundary m stalls;
-      stalls
+    let epoch_boundary () ~stalls =
+      S.epoch_boundary s ~stalls;
+      on_boundary m stalls
 
     (* monitored instances are never sharded *)
     let boundary_exchange (_ : t array) = ()

@@ -46,7 +46,7 @@ let write t ~proc ~addr ~array:(_ : int) ~value ~mark:_ =
   in
   Scheme.set_result t.res ~latency ~value ~cls:Scheme.Uncached
 
-let epoch_boundary t = Array.make t.cfg.processors 0
+let epoch_boundary (_ : t) ~stalls = Array.fill stalls 0 (Array.length stalls) 0
 
 (* all state is per memory line, which the sharded engine never splits *)
 let boundary_exchange (_ : t array) = ()

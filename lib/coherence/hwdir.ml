@@ -208,7 +208,7 @@ let write t ~proc ~addr ~array:(_ : int) ~value ~mark:_ =
     line.values.(off) <- value;
     Scheme.set_result t.res ~latency:(retire fetch_latency) ~value ~cls
 
-let epoch_boundary t = Array.make t.cfg.processors 0
+let epoch_boundary (_ : t) ~stalls = Array.fill stalls 0 (Array.length stalls) 0
 
 (* directory entries, caches and memory are all per-line — no cross-shard
    state to reconcile *)

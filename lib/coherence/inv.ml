@@ -53,18 +53,19 @@ let write t ~proc ~addr ~array:(_ : int) ~value ~mark =
   | Event.Normal_write -> Wt_common.write_through t.w ~proc ~addr ~value ~meta:0 ~other_meta:0
   | Event.Bypass_write -> Wt_common.write_bypass t.w ~proc ~addr ~value ~meta:0
 
-let epoch_boundary t =
+let epoch_boundary t ~stalls =
   let w = t.w in
   Wt_common.drain_buffers w;
-  (* full-cache invalidation at every boundary *)
-  Array.iter
-    (fun cache ->
-      Cache.iter_lines cache (fun line ->
-          Array.fill line.Cache.word_valid 0 (Array.length line.Cache.word_valid) false;
-          (* these invalidations are the scheme's conservatism, not resets *)
-          line.Cache.reset_invalidated <- false))
-    w.caches;
-  Array.make w.cfg.processors 0
+  (* full-cache invalidation at every boundary; O(resident lines) via the
+     cache's materialized-set walk *)
+  let caches = w.Wt_common.caches in
+  for p = 0 to Array.length caches - 1 do
+    Cache.iter_lines caches.(p) (fun line ->
+        Array.fill line.Cache.word_valid 0 (Array.length line.Cache.word_valid) false;
+        (* these invalidations are the scheme's conservatism, not resets *)
+        line.Cache.reset_invalidated <- false)
+  done;
+  Array.fill stalls 0 (Array.length stalls) 0
 
 (* caches and memory are per line; no cross-shard state *)
 let boundary_exchange (_ : t array) = ()

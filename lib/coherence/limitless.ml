@@ -52,7 +52,7 @@ let write t ~proc ~addr ~array ~value ~mark =
   end;
   r
 
-let epoch_boundary t = Hwdir.epoch_boundary t.hw
+let epoch_boundary t ~stalls = Hwdir.epoch_boundary t.hw ~stalls
 
 (* per-line like the underlying directory; trap accounting is per access *)
 let boundary_exchange (_ : t array) = ()

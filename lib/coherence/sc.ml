@@ -50,9 +50,9 @@ let write t ~proc ~addr ~array:(_ : int) ~value ~mark =
   | Event.Normal_write -> Wt_common.write_through t.w ~proc ~addr ~value ~meta:0 ~other_meta:0
   | Event.Bypass_write -> Wt_common.write_bypass t.w ~proc ~addr ~value ~meta:0
 
-let epoch_boundary t =
+let epoch_boundary t ~stalls =
   Wt_common.drain_buffers t.w;
-  Array.make t.w.cfg.processors 0
+  Array.fill stalls 0 (Array.length stalls) 0
 
 (* caches and memory are per line; no cross-shard state *)
 let boundary_exchange (_ : t array) = ()

@@ -105,27 +105,36 @@ module Snap = struct
       future access can observe, and the raw tick would make every
       snapshot unique. *)
   let cache b (c : Cache.t) =
+    let assoc = Cache.assoc c in
     Array.iter
       (fun set ->
-        (* ranks, not raw ticks: eviction order is what matters *)
-        let order = Array.map (fun (l : Cache.line) -> l.Cache.lru) set in
-        let rank l =
-          let r = ref 0 in
-          Array.iter (fun o -> if o < l then incr r) order;
-          !r
-        in
-        Array.iter
-          (fun (l : Cache.line) ->
-            if l.Cache.state = Cache.invalid_state then Buffer.add_char b '.'
-            else begin
-              int b l.Cache.tag;
-              int b l.Cache.state;
-              int b (rank l.Cache.lru);
-              bools b l.Cache.word_valid;
-              ints b l.Cache.values;
-              ints b l.Cache.meta
-            end)
-          set;
+        if Array.length set = 0 then
+          (* unmaterialized set: encode as [assoc] invalid frames, so the
+             encoding never depends on whether a set was ever allocated *)
+          for _ = 1 to assoc do
+            Buffer.add_char b '.'
+          done
+        else begin
+          (* ranks, not raw ticks: eviction order is what matters *)
+          let order = Array.map (fun (l : Cache.line) -> l.Cache.lru) set in
+          let rank l =
+            let r = ref 0 in
+            Array.iter (fun o -> if o < l then incr r) order;
+            !r
+          in
+          Array.iter
+            (fun (l : Cache.line) ->
+              if l.Cache.state = Cache.invalid_state then Buffer.add_char b '.'
+              else begin
+                int b l.Cache.tag;
+                int b l.Cache.state;
+                int b (rank l.Cache.lru);
+                bools b l.Cache.word_valid;
+                ints b l.Cache.values;
+                ints b l.Cache.meta
+              end)
+            set
+        end;
         sep b)
       (Cache.frame_sets c)
 
@@ -149,9 +158,13 @@ module type S = sig
   val write :
     t -> proc:int -> addr:int -> array:int -> value:int -> mark:Event.wmark -> access_result
 
-  (** Called at every epoch boundary; returns per-processor stall cycles
-      (two-phase resets, buffer drains). *)
-  val epoch_boundary : t -> int array
+  (** Called at every epoch boundary. Fills the caller-owned [stalls]
+      scratch (one entry per processor, reused across epochs — never
+      retained) with per-processor stall cycles (two-phase resets, buffer
+      drains); every entry is overwritten. Replacing the old
+      fresh-[int array]-per-epoch contract keeps the boundary path
+      allocation-free. *)
+  val epoch_boundary : t -> stalls:int array -> unit
 
   (** Sharded replay support: called once per epoch boundary with every
       shard's scheme slice (the whole team, index = shard id), after all

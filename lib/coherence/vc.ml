@@ -102,7 +102,7 @@ let boundary_exchange (slices : t array) =
     done
   end
 
-let epoch_boundary t =
+let epoch_boundary t ~stalls =
   Wt_common.drain_buffers t.w;
   (* bump the CVN of every variable written during the epoch *)
   for id = 0 to Bytes.length t.written_this_epoch - 1 do
@@ -111,7 +111,7 @@ let epoch_boundary t =
       Bytes.set t.written_this_epoch id '\000'
     end
   done;
-  Array.make t.w.cfg.processors 0
+  Array.fill stalls 0 (Array.length stalls) 0
 
 let stats t = t.w.st
 

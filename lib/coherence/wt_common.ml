@@ -24,6 +24,9 @@ type t = {
   st : Scheme.stats;
   memory_lines : int;
   res : Scheme.access_result;  (** per-instance scratch, reused every access *)
+  active_writers : int array;  (** dense: procs with buffered writes this epoch *)
+  mutable n_active_writers : int;
+  writer_marked : Bytes.t;  (** per proc: already in [active_writers] *)
 }
 
 (* We reuse the Cache line state field as a single "resident" flag. *)
@@ -42,7 +45,19 @@ let create cfg ~memory_words ~network ~traffic =
     st = Scheme.fresh_stats ();
     memory_lines;
     res = Scheme.fresh_result ();
+    active_writers = Array.make cfg.processors 0;
+    n_active_writers = 0;
+    writer_marked = Bytes.make cfg.processors '\000';
   }
+
+(* Remember that [proc]'s write buffer has pending state, so the boundary
+   drain visits only processors that actually wrote this epoch. *)
+let note_writer t proc =
+  if Bytes.get t.writer_marked proc = '\000' then begin
+    Bytes.set t.writer_marked proc '\001';
+    t.active_writers.(t.n_active_writers) <- proc;
+    t.n_active_writers <- t.n_active_writers + 1
+  end
 
 let mark_fetched t ~proc line = Bytes.set t.ever_fetched.(proc) line '\001'
 let was_fetched t ~proc line = Bytes.get t.ever_fetched.(proc) line = '\001'
@@ -112,6 +127,7 @@ let write_through t ~proc ~addr ~value ~meta ~other_meta =
       cls
   in
   (* the word itself goes to memory through the write buffer *)
+  note_writer t proc;
   let words = Write_buffer.write t.wbufs.(proc) addr in
   if words > 0 then begin
     Traffic.add_write t.traffic words;
@@ -155,10 +171,15 @@ let snapshot_into b t =
   Scheme.Snap.ints b t.mem.Memstate.values;
   Scheme.Snap.caches b t.caches
 
-(** Drain all write buffers at an epoch boundary; traffic only. *)
+(** Drain write buffers at an epoch boundary; traffic only. Visits only
+    the processors that wrote since the last drain (traffic sums are
+    commutative, so the dense-list order is observably identical to the
+    old full scan). *)
 let drain_buffers t =
-  Array.iter
-    (fun wb ->
-      let words = Write_buffer.drain wb in
-      if words > 0 then Traffic.add_write t.traffic words)
-    t.wbufs
+  for i = 0 to t.n_active_writers - 1 do
+    let p = t.active_writers.(i) in
+    Bytes.set t.writer_marked p '\000';
+    let words = Write_buffer.drain t.wbufs.(p) in
+    if words > 0 then Traffic.add_write t.traffic words
+  done;
+  t.n_active_writers <- 0

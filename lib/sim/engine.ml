@@ -104,6 +104,7 @@ let run ?(on_epoch = fun (_ : int) -> ()) (cfg : Config.t) (Scheme.Packed ((modu
   let ready = Minheap.create cfg.processors in
   let ticket_waiter = Array.make (max 1 trace.Trace.p_max_tickets) (-1) in
   let idle = Array.make cfg.processors false in
+  let stalls = Array.make cfg.processors 0 in
   Array.iteri
     (fun epoch_no (epoch : Trace.pepoch) ->
       on_epoch epoch_no;
@@ -302,14 +303,14 @@ let run ?(on_epoch = fun (_ : int) -> ()) (cfg : Config.t) (Scheme.Packed ((modu
         end
       in
       loop ();
-      (* epoch boundary: scheme work, barrier, network-load update *)
-      let stalls = S.epoch_boundary sch in
+      (* epoch boundary: scheme work (into the per-run stall scratch),
+         barrier, network-load update *)
+      S.epoch_boundary sch ~stalls;
       let finish = ref !global in
-      Array.iteri
-        (fun i p ->
-          let c = p.s_clock + stalls.(i) in
-          if c > !finish then finish := c)
-        procs;
+      for i = 0 to Array.length procs - 1 do
+        let c = procs.(i).s_clock + stalls.(i) in
+        if c > !finish then finish := c
+      done;
       metrics.barriers <- metrics.barriers + 1;
       global := !finish + cfg.barrier_cycles;
       Kruskal_snir.set_load net (Traffic.window_load traffic ~now_cycle:!global))
@@ -512,7 +513,7 @@ type 'st shard_ops = {
   o_replay :
     'st -> Trace.packed -> Trace.Shard.plan -> shard_ctx -> shard:int -> epoch:int -> unit;
   o_exchange : 'st array -> unit;
-  o_boundary : 'st -> int array;
+  o_boundary : 'st -> stalls:int array -> unit;
   o_stats : 'st -> Scheme.stats;
   o_image : 'st -> int array;
 }
@@ -612,7 +613,8 @@ let run_sharded_with (type st) ?(parallel = true) (cfg : Config.t) (ops : st sha
     done
   in
   let epoch_step_tail e s =
-    Array.blit (ops.o_boundary slices.(s)) 0 stalls.(s) 0 procs;
+    (* each slice fills its own row of the reusable stall matrix in place *)
+    ops.o_boundary slices.(s) ~stalls:stalls.(s);
     ignore e
   in
   let run_parallel () =
@@ -836,6 +838,7 @@ let run_boxed (cfg : Config.t) (Scheme.Packed ((module S), sch)) ~(net : Kruskal
   (* the boxed stream carries array names; intern them exactly as the
      packed form does so both paths hand schemes identical dense ids *)
   let symtab = Trace.symtab_of_layout trace.Trace.layout in
+  let stalls = Array.make cfg.processors 0 in
   Array.iteri
     (fun epoch_no (epoch : Trace.epoch) ->
       let ntasks = Array.length epoch.tasks in
@@ -997,14 +1000,14 @@ let run_boxed (cfg : Config.t) (Scheme.Packed ((module S), sch)) ~(net : Kruskal
           loop ()
       in
       loop ();
-      (* epoch boundary: scheme work, barrier, network-load update *)
-      let stalls = S.epoch_boundary sch in
+      (* epoch boundary: scheme work (into the per-run stall scratch),
+         barrier, network-load update *)
+      S.epoch_boundary sch ~stalls;
       let finish = ref !global in
-      Array.iteri
-        (fun i p ->
-          let c = p.clock + stalls.(i) in
-          if c > !finish then finish := c)
-        procs;
+      for i = 0 to Array.length procs - 1 do
+        let c = procs.(i).clock + stalls.(i) in
+        if c > !finish then finish := c
+      done;
       metrics.barriers <- metrics.barriers + 1;
       global := !finish + cfg.barrier_cycles;
       Kruskal_snir.set_load net (Traffic.window_load traffic ~now_cycle:!global))

@@ -20,6 +20,9 @@ let cls = Alcotest.testable (Fmt.of_to_string Scheme.class_name) ( = )
 
 let cfg = { Config.default with processors = 4; timetag_bits = 3 (* phase = 4 epochs *) }
 
+(* throwaway stall scratch for boundary calls whose stalls don't matter *)
+let scratch () = Array.make cfg.Config.processors 0
+
 let make_tpi () =
   let net = Kruskal_snir.create cfg and traffic = Traffic.create cfg in
   (Tpi.create cfg ~memory_words:256 ~network:net ~traffic, traffic)
@@ -86,7 +89,7 @@ let test_tpi_basic_reuse () =
   Alcotest.check cls "own write hit" Scheme.Hit r.cls;
   Alcotest.(check int) "value" 7 r.value;
   (* next epoch, Time-Read(0) is too strict, Time-Read(1) hits *)
-  ignore (Tpi.epoch_boundary tpi);
+  Tpi.epoch_boundary tpi ~stalls:(scratch ());
   Alcotest.check cls "d=0 misses" Scheme.Conservative
     (Tpi.read tpi ~proc:0 ~addr:5 ~array:0 ~mark:(Event.Time_read 0)).cls;
   Alcotest.check cls "d=1 hits (refetched word is fresh)" Scheme.Hit
@@ -95,7 +98,7 @@ let test_tpi_basic_reuse () =
 let test_tpi_line_fill_tag_rule () =
   let tpi, _ = make_tpi () in
   (* miss on word 4 fetches the whole line; companion words get epoch-1 *)
-  ignore (Tpi.epoch_boundary tpi) (* epoch = 1 so epoch-1 = 0 is valid *);
+  Tpi.epoch_boundary tpi ~stalls:(scratch ()) (* epoch = 1 so epoch-1 = 0 is valid *);
   ignore (Tpi.read tpi ~proc:0 ~addr:4 ~array:0 ~mark:Event.Normal_read);
   (* companion word: Time-Read(0) must MISS (tag = epoch-1) *)
   Alcotest.check cls "companion too old for d=0" Scheme.Conservative
@@ -107,10 +110,10 @@ let test_tpi_line_fill_tag_rule () =
 let test_tpi_staleness_detected () =
   let tpi, _ = make_tpi () in
   ignore (Tpi.read tpi ~proc:0 ~addr:8 ~array:0 ~mark:Event.Normal_read);
-  ignore (Tpi.epoch_boundary tpi);
+  Tpi.epoch_boundary tpi ~stalls:(scratch ());
   (* proc 1 writes the word in the next epoch *)
   ignore (Tpi.write tpi ~proc:1 ~addr:8 ~array:0 ~value:99 ~mark:Event.Normal_write);
-  ignore (Tpi.epoch_boundary tpi);
+  Tpi.epoch_boundary tpi ~stalls:(scratch ());
   (* proc 0's copy is stale; Time-Read(1) rejects it and fetches fresh *)
   let r = Tpi.read tpi ~proc:0 ~addr:8 ~array:0 ~mark:(Event.Time_read 1) in
   Alcotest.check cls "true sharing" Scheme.True_sharing r.cls;
@@ -121,8 +124,9 @@ let test_tpi_two_phase_reset () =
   ignore (Tpi.write tpi ~proc:0 ~addr:12 ~array:0 ~value:1 ~mark:Event.Normal_write);
   (* phase = 4 epochs for 3-bit tags: after 4 boundaries a reset fires *)
   let stalled = ref 0 in
+  let stalls = scratch () in
   for _ = 1 to 4 do
-    let stalls = Tpi.epoch_boundary tpi in
+    Tpi.epoch_boundary tpi ~stalls;
     stalled := !stalled + stalls.(0)
   done;
   Alcotest.(check int) "reset stall charged" cfg.two_phase_reset_cycles !stalled;
@@ -173,7 +177,7 @@ let test_sc_time_read_always_fetches () =
 let test_sc_epoch_boundary_noop () =
   let sc, _ = make_sc () in
   ignore (Sc.read sc ~proc:0 ~addr:5 ~array:0 ~mark:Event.Normal_read);
-  ignore (Sc.epoch_boundary sc);
+  Sc.epoch_boundary sc ~stalls:(scratch ());
   Alcotest.check cls "survives boundary" Scheme.Hit
     (Sc.read sc ~proc:0 ~addr:5 ~array:0 ~mark:Event.Normal_read).cls
 

@@ -15,6 +15,9 @@ let cls = Alcotest.testable (Fmt.of_to_string Scheme.class_name) ( = )
 
 let cfg = { Config.default with processors = 4 }
 
+(* throwaway stall scratch for boundary calls whose stalls don't matter *)
+let scratch () = Array.make cfg.Config.processors 0
+
 let make_vc () =
   let net = Kruskal_snir.create cfg and traffic = Traffic.create cfg in
   Vc.create cfg ~memory_words:256 ~network:net ~traffic
@@ -34,7 +37,7 @@ let test_vc_version_hit_and_miss () =
     (Vc.read vc ~proc:0 ~addr:4 ~array:0 ~mark:(Event.Time_read 5)).cls;
   (* another processor writes a DIFFERENT word of the same array *)
   ignore (Vc.write vc ~proc:1 ~addr:100 ~array:0 ~value:1 ~mark:Event.Normal_write);
-  ignore (Vc.epoch_boundary vc);
+  Vc.epoch_boundary vc ~stalls:(scratch ());
   (* array version bumped: the flagged read misses even though word 4 was
      never written — VC's variable-granularity conservatism *)
   Alcotest.check cls "stale version misses" Scheme.Conservative
@@ -44,7 +47,7 @@ let test_vc_other_array_untouched () =
   let vc = make_vc () in
   ignore (Vc.read vc ~proc:0 ~addr:4 ~array:0 ~mark:(Event.Time_read 5));
   ignore (Vc.write vc ~proc:1 ~addr:100 ~array:1 ~value:1 ~mark:Event.Normal_write);
-  ignore (Vc.epoch_boundary vc);
+  Vc.epoch_boundary vc ~stalls:(scratch ());
   (* y's version bump does not disturb x *)
   Alcotest.check cls "per-array versions" Scheme.Hit
     (Vc.read vc ~proc:0 ~addr:4 ~array:0 ~mark:(Event.Time_read 5)).cls
@@ -52,7 +55,7 @@ let test_vc_other_array_untouched () =
 let test_vc_own_write_is_current () =
   let vc = make_vc () in
   ignore (Vc.write vc ~proc:0 ~addr:8 ~array:0 ~value:9 ~mark:Event.Normal_write);
-  ignore (Vc.epoch_boundary vc);
+  Vc.epoch_boundary vc ~stalls:(scratch ());
   let r = Vc.read vc ~proc:0 ~addr:8 ~array:0 ~mark:(Event.Time_read 0) in
   Alcotest.check cls "writer keeps its copy" Scheme.Hit r.cls;
   Alcotest.(check int) "value" 9 r.value
@@ -61,7 +64,7 @@ let test_vc_normal_reads_unaffected () =
   let vc = make_vc () in
   ignore (Vc.read vc ~proc:0 ~addr:4 ~array:0 ~mark:Event.Normal_read);
   ignore (Vc.write vc ~proc:1 ~addr:100 ~array:0 ~value:1 ~mark:Event.Normal_write);
-  ignore (Vc.epoch_boundary vc);
+  Vc.epoch_boundary vc ~stalls:(scratch ());
   Alcotest.check cls "Normal survives version bump" Scheme.Hit
     (Vc.read vc ~proc:0 ~addr:4 ~array:0 ~mark:Event.Normal_read).cls
 
@@ -72,7 +75,7 @@ let test_inv_epoch_invalidation () =
   ignore (Inv.read inv ~proc:0 ~addr:4 ~array:0 ~mark:Event.Normal_read);
   Alcotest.check cls "within epoch" Scheme.Hit
     (Inv.read inv ~proc:0 ~addr:4 ~array:0 ~mark:Event.Normal_read).cls;
-  ignore (Inv.epoch_boundary inv);
+  Inv.epoch_boundary inv ~stalls:(scratch ());
   Alcotest.check cls "boundary wipes the cache" Scheme.Conservative
     (Inv.read inv ~proc:0 ~addr:4 ~array:0 ~mark:Event.Normal_read).cls
 

@@ -126,8 +126,9 @@ let test_tpi_timetag_wrap_reset () =
   let r0 = Tpi.read tpi ~proc:0 ~addr:0 ~array:0 ~mark:(Event.Time_read 0) in
   Alcotest.(check bool) "initial fill misses" true (r0.Scheme.cls <> Scheme.Hit);
   (* pre-wrap control: two epochs later the copy is still a Time-Read hit *)
-  ignore (Tpi.epoch_boundary tpi);
-  ignore (Tpi.epoch_boundary tpi);
+  let stalls = Array.make cfg.Config.processors 0 in
+  Tpi.epoch_boundary tpi ~stalls;
+  Tpi.epoch_boundary tpi ~stalls;
   let pre = Tpi.read tpi ~proc:0 ~addr:0 ~array:0 ~mark:(Event.Time_read 2) in
   Alcotest.(check bool) "age-2 word hits inside a wide window" true
     (pre.Scheme.cls = Scheme.Hit);
@@ -135,7 +136,7 @@ let test_tpi_timetag_wrap_reset () =
      the (now age-8) word even though a naive 4-bit age comparison against
      a d >= 8 window would have called it a hit *)
   for _ = 1 to 6 do
-    ignore (Tpi.epoch_boundary tpi)
+    Tpi.epoch_boundary tpi ~stalls
   done;
   let post = Tpi.read tpi ~proc:0 ~addr:0 ~array:0 ~mark:(Event.Time_read 8) in
   Alcotest.(check bool) "wrapped word does not hit" true (post.Scheme.cls <> Scheme.Hit);
@@ -144,10 +145,70 @@ let test_tpi_timetag_wrap_reset () =
     true
     (post.Scheme.cls = Scheme.Reset_inv)
 
+(* Differential oracle for the lazy two-phase reset: drive an eager
+   (flash-invalidate scan) and a lazy (timetag-cutoff settle) TPI through
+   the same deterministic script spanning two full phases — two reset
+   firings and a complete timetag wrap — and require every access to
+   return the same class, latency and value, every boundary to charge the
+   same stalls, and the final stats to agree. Run for 3- and 4-bit tags
+   so both the minimum phase and the wrap regression's shape are covered. *)
+let test_tpi_lazy_matches_eager_reset () =
+  let module Tpi = Hscd_coherence.Tpi in
+  let module Scheme = Hscd_coherence.Scheme in
+  let module Event = Hscd_arch.Event in
+  List.iter
+    (fun timetag_bits ->
+      let base = Config.validate { cfg with timetag_bits } in
+      let make eager =
+        let c = { base with Config.tpi_eager_reset = eager } in
+        let net = Kruskal_snir.create c and traffic = Traffic.create c in
+        Tpi.create c ~memory_words ~network:net ~traffic
+      in
+      let lz = make false and eg = make true in
+      let phase = 1 lsl (timetag_bits - 1) in
+      let check what (a : Scheme.access_result) (b : Scheme.access_result) =
+        if
+          (a.Scheme.cls, a.Scheme.latency, a.Scheme.value)
+          <> (b.Scheme.cls, b.Scheme.latency, b.Scheme.value)
+        then
+          Alcotest.failf "%s: lazy (%s,%d,%d) <> eager (%s,%d,%d)" what
+            (Scheme.class_name a.Scheme.cls) a.Scheme.latency a.Scheme.value
+            (Scheme.class_name b.Scheme.cls) b.Scheme.latency b.Scheme.value
+      in
+      let stalls_l = Array.make base.Config.processors 0
+      and stalls_e = Array.make base.Config.processors 0 in
+      (* 2*phase + 3 epochs: crosses two resets plus a full tag wrap *)
+      for e = 0 to (2 * phase) + 2 do
+        for p = 0 to base.Config.processors - 1 do
+          let waddr = (e + (p * 16)) mod memory_words in
+          ignore (Tpi.write lz ~proc:p ~addr:waddr ~array:0 ~value:e ~mark:Event.Normal_write);
+          ignore (Tpi.write eg ~proc:p ~addr:waddr ~array:0 ~value:e ~mark:Event.Normal_write);
+          let raddr = ((e * 3) + (p * 7)) mod memory_words in
+          List.iter
+            (fun mark ->
+              check
+                (Printf.sprintf "bits=%d epoch=%d proc=%d addr=%d" timetag_bits e p raddr)
+                (Tpi.read lz ~proc:p ~addr:raddr ~array:0 ~mark)
+                (Tpi.read eg ~proc:p ~addr:raddr ~array:0 ~mark))
+            [ Event.Normal_read; Event.Time_read (e mod (phase + 1)); Event.Bypass_read ]
+        done;
+        Tpi.epoch_boundary lz ~stalls:stalls_l;
+        Tpi.epoch_boundary eg ~stalls:stalls_e;
+        Alcotest.(check (array int)) "boundary stalls agree" stalls_e stalls_l
+      done;
+      let sl = Tpi.stats lz and se = Tpi.stats eg in
+      Alcotest.(check int)
+        (Printf.sprintf "bits=%d reset count" timetag_bits)
+        se.Scheme.two_phase_resets sl.Scheme.two_phase_resets;
+      Alcotest.(check bool) "two resets actually fired" true (se.Scheme.two_phase_resets >= 2))
+    [ 3; 4 ]
+
 let suite =
   [
     QCheck_alcotest.to_alcotest qcheck_directory_invariants;
     QCheck_alcotest.to_alcotest qcheck_reads_return_last_write;
     Alcotest.test_case "TPI time-read across a 4-bit timetag wrap" `Quick
       test_tpi_timetag_wrap_reset;
+    Alcotest.test_case "TPI lazy reset = eager reset (unit differential)" `Quick
+      test_tpi_lazy_matches_eager_reset;
   ]

@@ -62,7 +62,7 @@ let snapshots packed =
         | R (proc, addr, mark) -> ignore (S.read s ~proc ~addr ~array:0 ~mark)
         | W (proc, addr, value) ->
           ignore (S.write s ~proc ~addr ~array:0 ~value ~mark:Event.Normal_write)
-        | B -> ignore (S.epoch_boundary s));
+        | B -> S.epoch_boundary s ~stalls:(Array.make cfg.Config.processors 0));
         S.snapshot s)
       script
 

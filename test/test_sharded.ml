@@ -170,6 +170,30 @@ let test_typed_usage_errors () =
       in
       Run.simulate_packed_sharded ~cfg ~parallel:false ~shards:2 Run.SC packed)
 
+(* The lazy two-phase reset is the default; the eager flash-invalidate
+   scan survives behind [tpi_eager_reset] as a differential oracle. With
+   3-bit tags (phase = 4 epochs) a jacobi run crosses several resets, so
+   the whole Engine.result — metrics, classes, final-memory verdict —
+   must be bit-identical between the two models, through the sequential
+   engine and at every shard count. *)
+let test_tpi_lazy_matches_eager_engine () =
+  let cfg = Config.validate { Config.default with timetag_bits = 3 } in
+  let eager_cfg = { cfg with Config.tpi_eager_reset = true } in
+  let c = Run.compile ~cfg ~cache:false (Kernels.jacobi1d ~n:64 ~iters:6 ()) in
+  let packed = c.Run.packed_trace in
+  let lz = Run.simulate_packed ~cfg Run.TPI packed in
+  let eg = Run.simulate_packed ~cfg:eager_cfg Run.TPI packed in
+  Alcotest.(check bool) "resets fired" true
+    (lz.Hscd_sim.Engine.metrics.Hscd_sim.Metrics.scheme_stats.Hscd_coherence.Scheme.two_phase_resets
+    > 0);
+  Alcotest.(check bool) "engine: lazy = eager" true (lz = eg);
+  List.iter
+    (fun shards ->
+      let l = Run.simulate_packed_sharded ~cfg ~parallel:false ~shards Run.TPI packed in
+      let e = Run.simulate_packed_sharded ~cfg:eager_cfg ~parallel:false ~shards Run.TPI packed in
+      Alcotest.(check bool) (Printf.sprintf "shards=%d: lazy = eager" shards) true (l = e))
+    [ 1; 2; 4 ]
+
 let suite =
   [
     Alcotest.test_case "invariance: kernels, all schemes" `Quick test_invariance_kernels;
@@ -179,4 +203,6 @@ let suite =
     Alcotest.test_case "domain team = inline" `Quick test_parallel_team_matches_inline;
     Alcotest.test_case "mapped trace, sharded" `Quick test_mapped_sharded;
     Alcotest.test_case "typed usage errors" `Quick test_typed_usage_errors;
+    Alcotest.test_case "TPI lazy reset = eager oracle, engine + all shard counts" `Quick
+      test_tpi_lazy_matches_eager_engine;
   ]

@@ -13,6 +13,33 @@
 open Cmdliner
 module Err = Hscd_util.Hscd_error
 
+(* SIGTERM/SIGINT during a long-running command: exit with the
+   conventional 128+signum straight from the handler. Raising an
+   exception instead would be unsound under the supervised pool — the
+   handler can run on a worker domain, where the pool would classify the
+   exception as one task's transient failure and retry it, absorbing the
+   signal. Durability needs no cooperation from the interrupted code:
+   every completed checkpoint cell was already fsynced by
+   [Journal.append], and a record torn by this exit is healed on the next
+   open, exactly as for a kill -9. The printed number is the {e system}
+   signal number (OCaml's [Sys.sigterm] etc. are internal codes). *)
+let install_exit_signals () =
+  let handle ocaml_n sys_n =
+    try
+      Sys.set_signal ocaml_n
+        (Sys.Signal_handle
+           (fun _ ->
+             Printf.eprintf
+               "hscd: interrupted by signal %d; completed cells are durable in the \
+                checkpoint journal\n\
+                %!"
+               sys_n;
+             Stdlib.exit (128 + sys_n)))
+    with Invalid_argument _ | Sys_error _ -> ()
+  in
+  handle Sys.sigterm 15;
+  handle Sys.sigint 2
+
 let known_programs () =
   String.concat ", "
     (List.map (fun (e : Hscd_workloads.Perfect.entry) -> e.name) Hscd_workloads.Perfect.all
@@ -147,6 +174,7 @@ let sim_cmd =
 
 let compare_cmd =
   let run name procs line tag jobs resume retries timeout =
+    install_exit_signals ();
     let cfg = cfg_of procs line tag in
     let prog = read_program name in
     let c, results =
@@ -165,6 +193,7 @@ let compare_cmd =
 
 let experiment_cmd =
   let run id small jobs resume retries timeout =
+    install_exit_signals ();
     let jobs = resolve_jobs jobs in
     (* --resume (or a non-default policy) switches every run_all onto the
        supervised pool; cell keys embed the config, so one journal file
@@ -300,6 +329,7 @@ let fuzz_cmd =
   let module F = Hscd_check.Fuzz in
   let module Oracle = Hscd_check.Oracle in
   let run seed count no_shrink save corpus write_corpus jobs =
+    install_exit_signals ();
     let jobs = resolve_jobs jobs in
     match (write_corpus, corpus) with
     | Some dir, _ ->
@@ -477,6 +507,158 @@ let check_cmd =
     Term.(const run $ scheme_opt_arg $ procs_arg $ words_arg $ depth_arg $ line_arg $ tag_arg
           $ migration_arg $ max_states_arg $ fault_arg $ jobs_arg)
 
+(* ---- service mode: the sweep daemon and its client ---- *)
+
+let default_socket = Filename.concat (Filename.get_temp_dir_name ()) "hscd.sock"
+
+let socket_arg =
+  Arg.(value & opt string default_socket
+       & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket of the daemon")
+
+let tenant_name_arg =
+  Arg.(value & opt string "default" & info [ "tenant" ] ~docv:"NAME" ~doc:"Tenant to submit as")
+
+let serve_cmd =
+  let module Server = Hscd_service.Server in
+  let tenant_conv =
+    (* NAME:WEIGHT:CAPACITY, e.g. ci:4:32 *)
+    let parse s =
+      match String.split_on_char ':' s with
+      | [ name; w; c ] -> (
+        match (int_of_string_opt w, int_of_string_opt c) with
+        | Some weight, Some capacity when weight >= 1 && capacity >= 1 ->
+          Ok (name, { Hscd_service.Scheduler.weight; capacity })
+        | _ -> Error (`Msg "tenant WEIGHT and CAPACITY must be integers >= 1")
+        )
+      | _ -> Error (`Msg "tenant spec must be NAME:WEIGHT:CAPACITY")
+    in
+    let print fmt (n, (c : Hscd_service.Scheduler.config)) =
+      Format.fprintf fmt "%s:%d:%d" n c.weight c.capacity
+    in
+    Arg.conv (parse, print)
+  in
+  let run socket state tenants strict max_pending =
+    Server.install_signal_handlers ();
+    let settings =
+      {
+        (Server.default_settings ~socket ~state_dir:state) with
+        Server.tenants;
+        strict;
+        max_pending;
+      }
+    in
+    Err.get_exn (Server.serve settings)
+  in
+  let state_arg =
+    Arg.(value & opt string "hscd-state"
+         & info [ "state" ] ~docv:"DIR"
+             ~doc:"State directory: the admission journal and per-job cell journals that \
+                   make a kill-and-restart resume bit-identically")
+  in
+  let tenants_arg =
+    Arg.(value & opt_all tenant_conv []
+         & info [ "tenant" ] ~docv:"NAME:WEIGHT:CAPACITY"
+             ~doc:"Declare a tenant with its round-robin weight and bounded queue \
+                   capacity (repeatable)")
+  in
+  let strict_arg =
+    Arg.(value & flag
+         & info [ "strict" ]
+             ~doc:"Reject submissions from tenants not declared with $(b,--tenant) \
+                   (otherwise unknown tenants are admitted with weight 1)")
+  in
+  let max_pending_arg =
+    Arg.(value & opt int 256
+         & info [ "max-pending" ] ~docv:"N"
+             ~doc:"Global cap on queued jobs across all tenants; beyond it submissions \
+                   get a Busy reply")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the multi-tenant sweep daemon"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P "Serves compile/compare/sweep jobs from many concurrent clients over a \
+               Unix-domain socket, scheduling tenants by two-stage weighted round-robin \
+               (weighted pick of tenant, FCFS within the tenant) with bounded queues. \
+               Every accepted job is journaled before it is acknowledged, and every \
+               completed simulation cell is journaled as it finishes, so killing the \
+               daemon at any instant loses at most the in-flight cell: a restarted \
+               daemon resumes unfinished jobs bit-identically.";
+           `P "SIGTERM or SIGINT drains gracefully: admission stops (Busy replies), the \
+               in-flight cell finishes and is checkpointed, and the daemon exits 0.";
+         ])
+    Term.(const run $ socket_arg $ state_arg $ tenants_arg $ strict_arg $ max_pending_arg)
+
+let submit_cmd =
+  let module P = Hscd_service.Protocol in
+  let module Client = Hscd_service.Client in
+  let schemes_conv =
+    let parse s = Ok (String.split_on_char ',' s |> List.map String.trim) in
+    Arg.conv (parse, fun fmt l -> Format.pp_print_string fmt (String.concat "," l))
+  in
+  let run kind target schemes procs line tag small socket tenant =
+    let cfg = { P.processors = procs; line_words = line; timetag_bits = tag } in
+    let need_target () =
+      match target with
+      | Some t -> t
+      | None -> Err.fail Err.Usage "%s needs a TARGET (benchmark or kernel name)" kind
+    in
+    let spec =
+      match kind with
+      | "compile" -> P.Compile { target = need_target (); cfg; small }
+      | "compare" -> P.Compare { target = need_target (); schemes; cfg; small }
+      | "sweep" -> P.Sweep { schemes; cfg; small }
+      | k -> Err.fail Err.Usage "unknown job kind %s (known: compile, compare, sweep)" k
+    in
+    let on_progress ~cell ~finished ~total =
+      Printf.printf "cell %-16s (%d/%d)\n%!" cell finished total
+    in
+    match Err.get_exn (Client.run_job ~on_progress ~socket ~tenant spec) with
+    | P.Compiled { target; epochs; events } ->
+      Printf.printf "compiled %s: %d epochs, %d events\n" target epochs events
+    | P.Cells cells ->
+      List.iter
+        (fun { P.cell; result } ->
+          Printf.printf "%s\n" cell;
+          match Hscd_sim.Run.scheme_of_name (List.hd (List.rev (String.split_on_char '/' cell))) with
+          | Ok k -> print_metrics k result
+          | Error _ -> ())
+        cells
+  in
+  let kind_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"KIND" ~doc:"Job kind: compile, compare or sweep")
+  in
+  let target_arg =
+    Arg.(value & pos 1 (some string) None
+         & info [] ~docv:"TARGET" ~doc:"Benchmark or kernel (compile/compare jobs)")
+  in
+  let schemes_arg =
+    Arg.(value & opt schemes_conv [ "BASE"; "SC"; "TPI"; "HW" ]
+         & info [ "schemes" ] ~docv:"LIST" ~doc:"Comma-separated coherence schemes")
+  in
+  let small_arg =
+    Arg.(value & flag & info [ "small" ] ~doc:"Use test-scale benchmark sizes")
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:"Submit a job to a running sweep daemon and wait for the result"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P "Connects to $(b,hscd serve), submits one job, streams per-cell progress \
+               and prints the results. The job's identity is the digest of its spec: \
+               resubmitting after a daemon crash (or from a second client) attaches to \
+               the same execution and journal rather than recomputing. Busy replies \
+               (bounded tenant queue full, daemon draining) and daemon restarts are \
+               retried with bounded exponential backoff; Rejected replies (unknown \
+               tenant under --strict, invalid job) exit immediately with code 5.";
+         ])
+    Term.(const run $ kind_arg $ target_arg $ schemes_arg $ procs_arg $ line_arg $ tag_arg
+          $ small_arg $ socket_arg $ tenant_name_arg)
+
 let list_cmd =
   let run () =
     print_endline "Perfect Club benchmark models:";
@@ -494,14 +676,20 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List benchmarks, kernels and experiments") Term.(const run $ const ())
 
 (* Normalized exit codes: 0 success, 1 result failure (fuzz findings,
-   corrupt input, failed sweep), 2 usage error, 3 internal error. *)
+   corrupt input, failed sweep), 2 usage error, 3 internal error, 4 busy
+   (service backpressure), 5 rejected (service admission policy), and
+   128+signum after SIGINT/SIGTERM (130/143). *)
 let () =
   let man =
     [
       `S Manpage.s_exit_status;
-      `P "$(b,0) on success; $(b,1) on a result failure (the fuzzer found bugs, an input \
-          was corrupt, a sweep could not complete); $(b,2) on usage errors; $(b,3) on \
-          internal errors.";
+      `P "$(b,0) on success (including a daemon's graceful SIGTERM drain); $(b,1) on a \
+          result failure (the fuzzer found bugs, an input was corrupt, a sweep could not \
+          complete); $(b,2) on usage errors; $(b,3) on internal errors; $(b,4) when the \
+          service answered Busy (bounded queue full or draining — retryable); $(b,5) when \
+          the service rejected the job (unknown tenant under --strict, invalid job — not \
+          retryable); $(b,130)/$(b,143) (128+signum) when a long-running command was \
+          interrupted by SIGINT/SIGTERM after checkpointing completed cells.";
     ]
   in
   let info =
@@ -511,7 +699,7 @@ let () =
   let group =
     Cmd.group info
       [ mark_cmd; sim_cmd; compare_cmd; experiment_cmd; trace_cmd; replay_cmd; fuzz_cmd;
-        check_cmd; list_cmd ]
+        check_cmd; serve_cmd; submit_cmd; list_cmd ]
   in
   let code =
     match Cmd.eval_value ~catch:false group with

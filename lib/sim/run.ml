@@ -274,6 +274,36 @@ let compile_result ?cfg ?intertask ?check_races ?cache program =
       compile ?cfg ?intertask ?check_races ?cache program)
 
 (* ------------------------------------------------------------------ *)
+(* Job-granular entry points: the units the service daemon schedules.  *)
+(* A "cell" (one scheme over one compiled trace) is the atom of         *)
+(* checkpointing, retry and progress reporting — every coarser job      *)
+(* (compare, sweep) is a list of cells plus a compile.                  *)
+(* ------------------------------------------------------------------ *)
+
+let scheme_of_name s =
+  match String.uppercase_ascii s with
+  | "BASE" -> Ok Base
+  | "SC" -> Ok SC
+  | "TPI" -> Ok TPI
+  | "HW" -> Ok HW
+  | "LIMITLESS" -> Ok LimitLESS
+  | "VC" -> Ok VC
+  | "INV" -> Ok INV
+  | _ -> Err.error Err.Usage "unknown scheme %s (known: BASE, SC, INV, VC, TPI, HW, LimitLESS)" s
+
+let config_digest (cfg : Config.t) =
+  Digest.to_hex (Digest.string (Marshal.to_string (cfg : Config.t) []))
+
+let compiled_digest (c : compiled) =
+  Digest.to_hex (Digest.string (Hscd_lang.Printer.program_to_string c.marked))
+
+(** One simulation cell as a guarded [result] (never raises): the unit of
+    work the sweep daemon journals and retries. *)
+let simulate_packed_result ?cfg kind trace =
+  Err.guard ~context:("simulate " ^ scheme_name kind) (fun () ->
+      simulate_packed ?cfg kind trace)
+
+(* ------------------------------------------------------------------ *)
 (* Supervised comparison with checkpoint-resume. One journal record per *)
 (* (program, config, scheme) cell, appended the moment the cell's       *)
 (* simulation finishes — a crash or kill loses at most the in-flight    *)
@@ -283,9 +313,7 @@ let compile_result ?cfg ?intertask ?check_races ?cache program =
 (* ------------------------------------------------------------------ *)
 
 let cell_key ~prefix ~prog_id ~cfg kind =
-  Printf.sprintf "%s|%s|%s|%s" prefix prog_id
-    (Digest.to_hex (Digest.string (Marshal.to_string (cfg : Config.t) [])))
-    (scheme_name kind)
+  Printf.sprintf "%s|%s|%s|%s" prefix prog_id (config_digest cfg) (scheme_name kind)
 
 let decode_result payload =
   match (Marshal.from_string payload 0 : Engine.result) with

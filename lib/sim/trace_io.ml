@@ -74,7 +74,9 @@ let write_channel oc (t : Trace.t) =
 
 let save path t =
   let oc = open_out path in
-  (try write_channel oc t with exn -> close_out oc; raise exn);
+  (* close_out_noerr: close_out itself can raise (flush of a full disk)
+     and would leak the descriptor from inside this handler *)
+  (try write_channel oc t with exn -> close_out_noerr oc; raise exn);
   close_out oc
 
 (* --- loading --- *)
@@ -165,9 +167,9 @@ let load path : Trace.t =
        parse_line b (input_line ic)
      done
    with
-  | End_of_file -> close_in ic
+  | End_of_file -> close_in_noerr ic
   | exn ->
-    close_in ic;
+    close_in_noerr ic;
     raise exn);
   flush_epoch b;
   let arrays = Hashtbl.create 16 in
@@ -841,14 +843,19 @@ let map_packed_result path = Err.guard ~context:path (fun () -> map_packed path)
 (** Cheap sniff: does [path] start with a binary magic (either version)?
     (Lets the CLI auto-detect binary vs. text traces.) *)
 let is_binary path =
-  let ic = open_in_bin path in
+  match open_in_bin path with
+  | exception Sys_error _ -> false (* unopenable means "not binary" too *)
+  | ic ->
   let b = Bytes.create (String.length binary_magic) in
   let ok =
+    (* any read failure (not just a short file) means "not binary" — the
+       caller's real open will surface the typed error; what matters here
+       is that the sniff descriptor is closed on every path *)
     try
       really_input ic b 0 (Bytes.length b);
       let m = Bytes.to_string b in
       m = binary_magic || m = binary_magic_v2
-    with End_of_file -> false
+    with End_of_file | Sys_error _ -> false
   in
   close_in_noerr ic;
   ok

@@ -1,4 +1,14 @@
-type kind = Usage | Parse | Io | Corrupt | Worker | Timeout | Check | Internal
+type kind =
+  | Usage
+  | Parse
+  | Io
+  | Corrupt
+  | Worker
+  | Timeout
+  | Check
+  | Internal
+  | Busy
+  | Rejected
 
 type t = {
   kind : kind;
@@ -16,6 +26,8 @@ let kind_name = function
   | Timeout -> "timeout"
   | Check -> "check"
   | Internal -> "internal"
+  | Busy -> "busy"
+  | Rejected -> "rejected"
 
 exception Error of t
 
@@ -63,8 +75,13 @@ let guard ?default ?context f =
     Result.Error (match context with None -> t | Some c -> add_context c t)
 
 let get_exn = function Ok v -> v | Result.Error t -> raise (Error t)
-let transient t = match t.kind with Io | Worker | Timeout -> true | _ -> false
-let exit_code t = match t.kind with Usage -> 2 | Internal -> 3 | _ -> 1
+(* [Busy] is backpressure, not failure: the refused request is valid and
+   worth re-offering once the queue drains. [Rejected] is a policy verdict
+   (unknown tenant, over quota, invalid job) — retrying cannot help. *)
+let transient t = match t.kind with Io | Worker | Timeout | Busy -> true | _ -> false
+
+let exit_code t =
+  match t.kind with Usage -> 2 | Internal -> 3 | Busy -> 4 | Rejected -> 5 | _ -> 1
 
 let to_string t =
   let ctx =

@@ -19,6 +19,12 @@ type kind =
   | Timeout  (** a pool task exceeded its deadline *)
   | Check  (** a result-level failure: fuzz found bugs, schemes diverged *)
   | Internal  (** invariant breach — a bug in hscd itself *)
+  | Busy
+      (** admission control said "not now": a bounded queue was full or the
+          service is draining — backpressure, retryable by design *)
+  | Rejected
+      (** admission control said "never": unknown tenant, over quota, or an
+          invalid job — retrying the same request cannot succeed *)
 
 type t = {
   kind : kind;
@@ -56,13 +62,13 @@ val guard : ?default:kind -> ?context:string -> (unit -> 'a) -> ('a, t) result
 (** Re-raise an [Error e] result as {!Error}; identity on [Ok]. *)
 val get_exn : ('a, t) result -> 'a
 
-(** Is this error a plausible one-off worth retrying? ([Io], [Worker]
-    and [Timeout] are; corrupt artifacts, usage and logic errors are
-    not.) *)
+(** Is this error a plausible one-off worth retrying? ([Io], [Worker],
+    [Timeout] and [Busy] are; corrupt artifacts, usage errors, logic
+    errors and admission [Rejected]s are not.) *)
 val transient : t -> bool
 
 (** Normalized process exit code: [Usage] → 2, [Internal] → 3,
-    everything else → 1. *)
+    [Busy] → 4, [Rejected] → 5, everything else → 1. *)
 val exit_code : t -> int
 
 (** One line: [kind: message (in context, in context)]. *)

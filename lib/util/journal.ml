@@ -105,8 +105,15 @@ let open_append path =
   match
     if not (Sys.file_exists path) then begin
       let oc = open_out_bin path in
-      output_string oc magic;
-      flush oc;
+      (* close-on-error: a full disk (or any write failure) must not leak
+         the descriptor — repeated failing opens would exhaust the fd
+         budget long before anyone notices the real problem *)
+      (try
+         output_string oc magic;
+         flush oc
+       with exn ->
+         close_out_noerr oc;
+         raise exn);
       (oc, [])
     end
     else begin
@@ -114,13 +121,19 @@ let open_append path =
       (* drop a torn tail atomically: rewrite the valid prefix and rename
          over the original, so a crash here still leaves a valid journal *)
       if valid_end < len then begin
-        let ic = open_in_bin path in
-        let prefix = really_input_string ic valid_end in
-        close_in ic;
+        let prefix =
+          let ic = open_in_bin path in
+          Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+              really_input_string ic valid_end)
+        in
         let tmp = path ^ ".tmp" in
         let oc = open_out_bin tmp in
-        output_string oc prefix;
-        close_out oc;
+        (try
+           output_string oc prefix;
+           close_out oc
+         with exn ->
+           close_out_noerr oc;
+           raise exn);
         Sys.rename tmp path
       end;
       let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in

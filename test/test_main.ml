@@ -27,5 +27,6 @@ let () =
       ("workloads", Test_workloads.suite);
       ("compile-cache", Test_compile_cache.suite);
       ("experiments", Test_experiments.suite);
+      ("service", Test_service.suite);
       ("core", [ Alcotest.test_case "facade placeholder" `Quick (fun () -> Core.placeholder ()) ]);
     ]
